@@ -1,0 +1,34 @@
+//! Criterion wrapper over the figure harnesses at quick scale: tracks the
+//! end-to-end cost of regenerating each exhibit (the real regeneration runs
+//! live in the `table*`/`fig*` binaries; see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use iroram_experiments::{fig15, fig2, fig6, table2, ExpOptions};
+
+fn bench_figures(c: &mut Criterion) {
+    let opts = ExpOptions::quick();
+    let mut g = c.benchmark_group("figures_quick");
+    g.sample_size(10);
+    g.bench_function("table2_mpki", |b| {
+        b.iter(|| std::hint::black_box(table2::run(&opts)))
+    });
+    g.bench_function("fig6_serve_histogram", |b| {
+        b.iter(|| std::hint::black_box(fig6::collect(&opts)))
+    });
+    g.finish();
+
+    // One-shot shape checks under the bench profile: regenerate the lighter
+    // figures once so `cargo bench` also exercises the timed simulator.
+    let f2 = fig2::run(&opts);
+    println!("{f2}");
+    let f15 = fig15::run(&opts);
+    println!("{f15}");
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_figures
+}
+criterion_main!(figures);

@@ -1,0 +1,81 @@
+//! Criterion benchmarks of the ORAM protocol itself: functional access
+//! throughput under each configuration, quantifying how much protocol work
+//! (not DRAM time) each scheme performs per logical access.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use iroram_protocol::{
+    AllocPreset, BlockAddr, OramConfig, PathOram, TreeTopMode, ZAllocation,
+};
+use iroram_sim_engine::SimRng;
+
+fn cfg(levels: usize, treetop: TreeTopMode, zalloc: ZAllocation) -> OramConfig {
+    OramConfig {
+        levels,
+        data_blocks: 1 << (levels + 1),
+        zalloc,
+        treetop,
+        stash_capacity: 200,
+        plb_sets: 16,
+        plb_ways: 4,
+        remap: iroram_protocol::RemapPolicy::Immediate,
+        max_bg_evicts_per_access: 8,
+        encrypt_payloads: false,
+        seed: 7,
+    }
+}
+
+fn bench_access(c: &mut Criterion) {
+    const LEVELS: usize = 13;
+    let variants: Vec<(&str, OramConfig)> = vec![
+        (
+            "baseline_z4",
+            cfg(
+                LEVELS,
+                TreeTopMode::Dedicated { levels: 5 },
+                ZAllocation::uniform(LEVELS, 4),
+            ),
+        ),
+        (
+            "ir_alloc",
+            cfg(
+                LEVELS,
+                TreeTopMode::Dedicated { levels: 5 },
+                ZAllocation::preset(AllocPreset::IrAlloc4, LEVELS, 5),
+            ),
+        ),
+        (
+            "ir_stash",
+            cfg(
+                LEVELS,
+                TreeTopMode::ir_stash_sized(5),
+                ZAllocation::uniform(LEVELS, 4),
+            ),
+        ),
+        (
+            "no_treetop",
+            cfg(LEVELS, TreeTopMode::None, ZAllocation::uniform(LEVELS, 4)),
+        ),
+    ];
+    let mut g = c.benchmark_group("oram_access");
+    g.throughput(Throughput::Elements(1));
+    for (name, config) in variants {
+        let n = config.data_blocks;
+        let mut oram = PathOram::new(config);
+        let mut rng = SimRng::seed_from(11);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let addr = BlockAddr(rng.next_below(n));
+                std::hint::black_box(oram.run_access(addr, None))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = oram;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_access
+}
+criterion_main!(oram);

@@ -1,0 +1,22 @@
+//! Regenerates every table and figure in sequence (use `--quick` for a
+//! fast smoke pass, `--csv <dir>` to export CSVs).
+fn main() {
+    let figs: [(&str, fn(&iroram_experiments::ExpOptions) -> iroram_experiments::Table); 13] = [
+        ("table1", iroram_experiments::table1::run),
+        ("table2", iroram_experiments::table2::run),
+        ("fig2", iroram_experiments::fig2::run),
+        ("fig3", iroram_experiments::fig3::run),
+        ("fig4", iroram_experiments::fig4::run),
+        ("fig6", iroram_experiments::fig6::run),
+        ("fig10", iroram_experiments::fig10::run),
+        ("fig11", iroram_experiments::fig11::run),
+        ("fig12", iroram_experiments::fig12::run),
+        ("fig13", iroram_experiments::fig13::run),
+        ("fig14", iroram_experiments::fig14::run),
+        ("fig15", iroram_experiments::fig15::run),
+        ("fig16", iroram_experiments::fig16::run),
+    ];
+    for (name, run) in figs {
+        iroram_bench::harness(name, run);
+    }
+}

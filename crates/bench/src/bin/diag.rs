@@ -1,0 +1,46 @@
+//! Scheme diagnostics: per-scheme slot/DRAM breakdown on one benchmark.
+//! Usage: `cargo run --release -p iroram-bench --bin diag [levels] [bench] [ops]`
+
+use ir_oram::{RunLimit, Scheme, Simulation, SystemConfig};
+use iroram_trace::{Bench, ALL_BENCHES};
+
+fn main() {
+    let levels: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let bench = std::env::args()
+        .nth(2)
+        .and_then(|name| ALL_BENCHES.iter().copied().find(|b| b.name() == name))
+        .unwrap_or(Bench::Mcf);
+    let ops: u64 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(6000);
+    for scheme in [
+        Scheme::Baseline,
+        Scheme::Rho,
+        Scheme::IrAlloc,
+        Scheme::IrStash,
+        Scheme::IrDwb,
+        Scheme::IrOram,
+        Scheme::LlcD,
+    ] {
+        let mut cfg = SystemConfig::scaled(scheme);
+        cfg.oram.levels = levels;
+        cfg.oram.data_blocks = 1 << (levels + 1);
+        cfg.oram.zalloc = iroram_protocol::ZAllocation::uniform(levels, 4);
+        let top = (levels * 2 / 5).max(1);
+        cfg.oram.treetop = iroram_protocol::TreeTopMode::Dedicated { levels: top };
+        cfg.hierarchy = iroram_cache::HierarchyConfig::scaled(
+            (32usize << (17 - levels.min(17))).min(128),
+        );
+        cfg.t_interval = SystemConfig::t_for(&cfg.oram);
+        let cfg = cfg.with_scheme(scheme);
+        let r = Simulation::run_bench(&cfg, bench, RunLimit::mem_ops(ops));
+        let s = &r.slots;
+        let p = &r.protocol;
+        println!(
+            "{:<10} T={} cyc={:>10} slots={:>6} (real {:>5} bg {:>4} dmy {:>5} cnv {:>4}) miss={:>5} pm={:>5} data={:>5} top={:>4} sst={:>4} fst={:>4} esc={:>4} stsh={:>4} dram={:>7} cyc/slot={:.0}",
+            cfg.scheme.name(), cfg.t_interval, r.cycles, s.total_slots, s.real_slots,
+            s.bg_slots, s.dummy_slots, s.converted_slots, r.hierarchy.misses,
+            r.posmap_paths(), p.data_paths, p.treetop_hits, p.sstash_hits, p.fstash_hits,
+            p.escrow_hits, p.served_stash, r.dram.requests,
+            r.cycles as f64 / s.total_slots.max(1) as f64
+        );
+    }
+}

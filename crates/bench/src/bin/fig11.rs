@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11. See `iroram_experiments::fig11`.
+fn main() {
+    iroram_bench::harness("fig11", |opts| iroram_experiments::fig11::run(opts));
+}

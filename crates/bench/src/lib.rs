@@ -1,0 +1,52 @@
+//! Shared plumbing for the IR-ORAM benchmark harness binaries.
+//!
+//! Each binary (`table1`, `table2`, `fig2` … `fig16`, `all`) regenerates one
+//! exhibit of the paper; run them with `cargo run -p iroram-bench --release
+//! --bin fig10`. All accept `--quick` (smoke scale) and `--full` (longer
+//! runs); the default is the standard scale recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use iroram_experiments::{ExpOptions, Table};
+
+/// Runs one experiment binary: parses scale flags, times the build, prints
+/// the table, and (when `--csv <dir>` is given) writes a CSV next to it.
+pub fn harness(name: &str, build: impl FnOnce(&ExpOptions) -> Table) {
+    let opts = ExpOptions::from_args();
+    let start = Instant::now();
+    let table = build(&opts);
+    println!("{table}");
+    eprintln!(
+        "[{name}] completed in {:.1?} at scale {opts:?}",
+        start.elapsed()
+    );
+    if let Some(dir) = csv_dir() {
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| table.write_csv(&path)) {
+            eprintln!("[{name}] failed to write {}: {e}", path.display());
+        } else {
+            eprintln!("[{name}] wrote {}", path.display());
+        }
+    }
+}
+
+/// The `--csv <dir>` argument, if present.
+pub fn csv_dir() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn csv_dir_absent_by_default() {
+        assert_eq!(super::csv_dir(), None);
+    }
+}

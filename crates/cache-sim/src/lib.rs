@@ -1,0 +1,34 @@
+//! Cache-hierarchy substrate for the IR-ORAM reproduction.
+//!
+//! The paper's system (Table I) has a two-level data-cache hierarchy — a
+//! 2-way 256 KB L1 and an 8-way 2 MB LLC — in front of the ORAM controller,
+//! plus several small ORAM-internal caches (the PLB, the dedicated tree-top
+//! cache). All of them are instances of the generic [`SetAssocCache`] here.
+//!
+//! The crate also provides [`DirtyLruScanner`], the small state machine from
+//! the paper's IR-DWB design (Fig. 9): a register `Ptr` that round-robins
+//! across LLC sets looking for a *dirty LRU* entry to early-write-back when a
+//! dummy ORAM slot comes up.
+//!
+//! # Examples
+//!
+//! ```
+//! use iroram_cache::{CacheConfig, SetAssocCache};
+//!
+//! let mut c = SetAssocCache::new(CacheConfig::new(64, 4));
+//! assert!(!c.access(0x100, false)); // cold miss
+//! c.insert(0x100, false);
+//! assert!(c.access(0x100, true)); // hit, now dirty
+//! assert!(c.probe(0x100).map(|line| line.dirty).unwrap_or(false));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod dwb;
+mod hierarchy;
+
+pub use cache::{CacheConfig, CacheStats, EvictedLine, IndexKind, LineInfo, SetAssocCache};
+pub use dwb::DirtyLruScanner;
+pub use hierarchy::{AccessOutcome, HierarchyConfig, HierarchyStats, MemoryHierarchy};

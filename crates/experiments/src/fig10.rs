@@ -1,0 +1,119 @@
+//! Fig. 10 — the headline performance comparison.
+//!
+//! Runs every benchmark (plus the `mix` bar) under Baseline, Rho, IR-Alloc,
+//! IR-Stash, IR-DWB and IR-ORAM and reports execution time normalized to
+//! Baseline (lower is better), with the average row. Paper shape: Rho ≈
+//! 0.90 on average (worse on mcf), IR-Alloc ≈ 0.71, IR-Stash ≈ 0.79,
+//! IR-DWB ≈ 0.95, IR-ORAM ≈ 0.64 (57% improvement ⇒ 42% over Rho).
+
+use ir_oram::{Scheme, SimReport};
+use iroram_trace::Bench;
+
+use crate::render::{fmt_f, Table};
+use crate::runner::{geomean, perf_benches, run_scheme};
+use crate::ExpOptions;
+
+/// The schemes plotted in Fig. 10, in legend order.
+pub const FIG10_SCHEMES: [Scheme; 6] = [
+    Scheme::Baseline,
+    Scheme::Rho,
+    Scheme::IrAlloc,
+    Scheme::IrStash,
+    Scheme::IrDwb,
+    Scheme::IrOram,
+];
+
+/// All runs of the figure, indexed `[scheme][bench]`.
+#[derive(Debug, Clone)]
+pub struct Fig10Data {
+    /// Benchmarks in row order.
+    pub benches: Vec<Bench>,
+    /// Reports per scheme (same order as [`FIG10_SCHEMES`]).
+    pub reports: Vec<Vec<SimReport>>,
+}
+
+impl Fig10Data {
+    /// Normalized execution time of scheme `s` on bench row `b`
+    /// (Baseline = 1.0).
+    pub fn normalized(&self, s: usize, b: usize) -> f64 {
+        self.reports[s][b].cycles as f64 / self.reports[0][b].cycles.max(1) as f64
+    }
+
+    /// Geometric-mean normalized time of scheme `s` across benches.
+    pub fn mean_normalized(&self, s: usize) -> f64 {
+        let xs: Vec<f64> = (0..self.benches.len())
+            .map(|b| self.normalized(s, b))
+            .collect();
+        geomean(&xs)
+    }
+}
+
+/// Runs all scheme × bench combinations.
+pub fn collect(opts: &ExpOptions) -> Fig10Data {
+    let benches = perf_benches();
+    let reports = FIG10_SCHEMES
+        .iter()
+        .map(|&s| run_scheme(opts, s, &benches))
+        .collect();
+    Fig10Data { benches, reports }
+}
+
+/// Builds the Fig. 10 table from collected data.
+pub fn render(data: &Fig10Data) -> Table {
+    let mut headers = vec!["Benchmark".to_owned()];
+    headers.extend(FIG10_SCHEMES.iter().map(|s| s.name().to_owned()));
+    let mut t = Table::new(
+        "Fig. 10: execution time normalized to Baseline (lower is better)",
+        headers,
+    );
+    for (b, bench) in data.benches.iter().enumerate() {
+        let mut row = vec![bench.name().to_owned()];
+        row.extend((0..FIG10_SCHEMES.len()).map(|s| fmt_f(data.normalized(s, b), 3)));
+        t.row(row);
+    }
+    let mut avg = vec!["geomean".to_owned()];
+    avg.extend((0..FIG10_SCHEMES.len()).map(|s| fmt_f(data.mean_normalized(s), 3)));
+    t.row(avg);
+    t
+}
+
+/// Runs the experiment and renders the table.
+pub fn run(opts: &ExpOptions) -> Table {
+    render(&collect(opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_oram::{RunLimit, Simulation};
+
+    /// The core shape claim of the paper at reduced scale: IR-ORAM beats
+    /// Baseline on a memory-intensive benchmark.
+    #[test]
+    fn iroram_beats_baseline_on_intense_bench() {
+        let opts = ExpOptions::quick();
+        let limit = RunLimit::mem_ops(6_000);
+        let base = Simulation::run_bench(&opts.system(Scheme::Baseline), Bench::Xz, limit);
+        let ir = Simulation::run_bench(&opts.system(Scheme::IrOram), Bench::Xz, limit);
+        assert!(
+            ir.cycles < base.cycles,
+            "IR-ORAM {} vs Baseline {}",
+            ir.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn iralloc_reduces_memory_traffic() {
+        let opts = ExpOptions::quick();
+        let limit = RunLimit::mem_ops(4_000);
+        let base = Simulation::run_bench(&opts.system(Scheme::Baseline), Bench::Mcf, limit);
+        let alloc = Simulation::run_bench(&opts.system(Scheme::IrAlloc), Bench::Mcf, limit);
+        assert!(
+            alloc.dram.requests < base.dram.requests,
+            "IR-Alloc must touch fewer blocks ({} vs {})",
+            alloc.dram.requests,
+            base.dram.requests
+        );
+    }
+}

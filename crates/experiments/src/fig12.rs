@@ -1,0 +1,113 @@
+//! Fig. 12 — IR-Alloc configuration study.
+//!
+//! Compares the four IR-Alloc `Z` settings of Section VI-B, reporting
+//! runtime normalized to Baseline and the share of slots spent on
+//! background eviction (the shaded bar portion in the paper). Paper shape:
+//! more aggressive allocations (shorter PL) run faster but spend more time
+//! on background eviction.
+
+use ir_oram::Scheme;
+use iroram_protocol::{AllocPreset, ZAllocation};
+use iroram_trace::Bench;
+
+use crate::render::{fmt_f, fmt_pct, Table};
+use crate::runner::{geomean, perf_benches};
+use crate::ExpOptions;
+
+/// The four configurations of the study.
+pub const CONFIGS: [(&str, AllocPreset); 4] = [
+    ("IR-Alloc1", AllocPreset::IrAlloc1),
+    ("IR-Alloc2", AllocPreset::IrAlloc2),
+    ("IR-Alloc3", AllocPreset::IrAlloc3),
+    ("IR-Alloc4", AllocPreset::IrAlloc4),
+];
+
+/// Per-configuration outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocOutcome {
+    /// Configuration name.
+    pub name: String,
+    /// Per-path memory blocks (PL).
+    pub path_len: u64,
+    /// Geomean runtime normalized to Baseline.
+    pub normalized: f64,
+    /// Mean fraction of slots carrying background evictions.
+    pub bg_share: f64,
+}
+
+/// Runs the study over a few representative benchmarks (the full set at
+/// `--full` scale).
+pub fn collect(opts: &ExpOptions) -> Vec<AllocOutcome> {
+    let benches: Vec<Bench> = if opts.random_trials >= 13 {
+        perf_benches()
+    } else {
+        vec![Bench::Mcf, Bench::Lbm, Bench::Xz, Bench::Gcc]
+    };
+    let base_cfg = opts.system(Scheme::Baseline);
+    let base: Vec<u64> = benches
+        .iter()
+        .map(|&b| {
+            ir_oram::Simulation::run_bench(&base_cfg, b, opts.limit()).cycles
+        })
+        .collect();
+    CONFIGS
+        .iter()
+        .map(|&(name, preset)| {
+            let mut cfg = opts.system(Scheme::IrAlloc);
+            let top = cfg.oram.treetop.cached_levels();
+            cfg.oram.zalloc = ZAllocation::preset(preset, cfg.oram.levels, top);
+            let mut norms = Vec::new();
+            let mut bg = 0.0;
+            for (i, &b) in benches.iter().enumerate() {
+                let r = ir_oram::Simulation::run_bench(&cfg, b, opts.limit());
+                norms.push(r.cycles as f64 / base[i].max(1) as f64);
+                bg += r.slots.bg_slots as f64 / r.slots.total_slots.max(1) as f64;
+            }
+            AllocOutcome {
+                name: name.to_owned(),
+                path_len: cfg.oram.zalloc.path_len(top),
+                normalized: geomean(&norms),
+                bg_share: bg / benches.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Builds the Fig. 12 table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let outcomes = collect(opts);
+    let mut t = Table::new(
+        "Fig. 12: IR-Alloc configurations — runtime (normalized) and background-eviction share",
+        ["Config", "PL", "normalized time", "bg-eviction slot share"],
+    );
+    for o in outcomes {
+        t.row([
+            o.name,
+            o.path_len.to_string(),
+            fmt_f(o.normalized, 3),
+            fmt_pct(o.bg_share),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_lengths_are_ordered() {
+        // PL must decrease from IR-Alloc1 to IR-Alloc4 (the paper's 43, 42,
+        // 37, 36 progression).
+        let opts = ExpOptions::quick();
+        let cfg = opts.system(Scheme::Baseline);
+        let top = cfg.oram.treetop.cached_levels();
+        let pls: Vec<u64> = CONFIGS
+            .iter()
+            .map(|&(_, p)| ZAllocation::preset(p, cfg.oram.levels, top).path_len(top))
+            .collect();
+        assert!(pls.windows(2).all(|w| w[0] >= w[1]), "{pls:?}");
+        let base = ZAllocation::uniform(cfg.oram.levels, 4).path_len(top);
+        assert!(pls[0] < base);
+    }
+}

@@ -1,0 +1,87 @@
+//! Fig. 16 — IR-Alloc scalability across protected-space sizes.
+//!
+//! The paper evaluates IR-Alloc against Baseline at 1/2/4 GB of user data
+//! (trees of 24/25/26 levels) on random traces — the worst case, which
+//! "sets the performance lower bound while exhibiting high probability in
+//! background eviction" — averaging 13 traces. Here the three points are
+//! scaled tree heights; the speedup should stay stable (the paper's bars
+//! are flat, ≈1.6×) with near-zero variance across traces.
+
+use ir_oram::{Scheme, Simulation};
+use iroram_sim_engine::stats::RunningStat;
+use iroram_trace::Bench;
+
+use crate::render::{fmt_f, Table};
+use crate::ExpOptions;
+
+/// One scaling point: `(levels, mean speedup, stddev)`.
+pub fn collect(opts: &ExpOptions) -> Vec<(usize, f64, f64)> {
+    let base_levels = opts.system(Scheme::Baseline).oram.levels;
+    [base_levels - 2, base_levels - 1, base_levels]
+        .into_iter()
+        .map(|levels| {
+            let mut stat = RunningStat::new();
+            for trial in 0..opts.random_trials {
+                let seed = opts.seed ^ ((trial as u64 + 1) << 8);
+                let make = |scheme| {
+                    let mut cfg = opts.system(scheme);
+                    cfg.oram.levels = levels;
+                    cfg.oram.data_blocks = 1 << (levels + 1);
+                    cfg.oram.zalloc =
+                        iroram_protocol::ZAllocation::uniform(levels, 4);
+                    let top = (levels * 2 / 5).max(1);
+                    cfg.oram.treetop =
+                        iroram_protocol::TreeTopMode::Dedicated { levels: top };
+                    cfg.t_interval = ir_oram::SystemConfig::t_for(&cfg.oram);
+                    cfg.seed = seed;
+                    cfg.oram.seed = seed;
+                    cfg.with_scheme(scheme)
+                };
+                let limit = opts.limit();
+                let base =
+                    Simulation::run_bench(&make(Scheme::Baseline), Bench::RandomUniform, limit);
+                let ir =
+                    Simulation::run_bench(&make(Scheme::IrAlloc), Bench::RandomUniform, limit);
+                stat.push(ir.speedup_over(&base));
+            }
+            (levels, stat.mean(), stat.stddev())
+        })
+        .collect()
+}
+
+/// Builds the Fig. 16 table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Fig. 16: IR-Alloc speedup over Baseline vs protected-space size (random traces)",
+        ["Tree levels", "user-data blocks", "speedup", "stddev"],
+    );
+    for (levels, mean, sd) in collect(opts) {
+        t.row([
+            levels.to_string(),
+            (1u64 << (levels + 1)).to_string(),
+            fmt_f(mean, 3),
+            fmt_f(sd, 4),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_is_stable_across_sizes() {
+        let mut opts = ExpOptions::quick();
+        opts.random_trials = 1;
+        opts.mem_ops = 2_000;
+        let points = collect(&opts);
+        assert_eq!(points.len(), 3);
+        for (levels, mean, _) in &points {
+            assert!(
+                *mean > 0.9,
+                "IR-Alloc at L={levels} should not slow down ({mean})"
+            );
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Fig. 4 — per-benchmark space-utilization behaviour.
+//!
+//! Same methodology as Fig. 3 but for individual workloads (the paper shows
+//! gcc, lbm and a random trace) to demonstrate the per-level trend holds per
+//! benchmark.
+
+use iroram_protocol::{BlockAddr, PathOram, ZAllocation};
+use iroram_trace::{Bench, WorkloadGen};
+
+use crate::fig3::Snapshot;
+use crate::render::{fmt_pct, Table};
+use crate::ExpOptions;
+
+/// Utilization snapshots for one benchmark run.
+pub fn collect(opts: &ExpOptions, bench: Bench) -> Vec<Snapshot> {
+    let cfg = opts.funct_oram(|l, _| ZAllocation::uniform(l, 4));
+    let n = cfg.data_blocks;
+    let mut oram = PathOram::new(cfg);
+    let total = n * opts.funct_accesses_per_block;
+    let mut gen = WorkloadGen::for_bench(bench, n, opts.seed);
+    let mut snaps = Vec::new();
+    for q in 1..=3u64 {
+        for _ in (total * (q - 1) / 3)..(total * q / 3) {
+            let r = gen.next_record();
+            oram.run_access(BlockAddr(r.addr), None);
+        }
+        snaps.push(Snapshot {
+            label: format!("{}/3", q),
+            per_level: oram
+                .utilization_per_level()
+                .into_iter()
+                .map(|(u, c)| if c == 0 { 0.0 } else { u as f64 / c as f64 })
+                .collect(),
+        });
+    }
+    snaps
+}
+
+/// Builds the Fig. 4 table: final-snapshot utilization per level for gcc,
+/// lbm and the random trace.
+pub fn run(opts: &ExpOptions) -> Table {
+    let benches = [Bench::Gcc, Bench::Lbm, Bench::RandomUniform];
+    let finals: Vec<(Bench, Snapshot)> = benches
+        .iter()
+        .map(|&b| (b, collect(opts, b).pop().expect("snapshots nonempty")))
+        .collect();
+    let mut headers = vec!["Level".to_owned()];
+    headers.extend(finals.iter().map(|(b, _)| b.name().to_owned()));
+    let mut t = Table::new(
+        "Fig. 4: space utilization per benchmark (final snapshot)",
+        headers,
+    );
+    let levels = finals[0].1.per_level.len();
+    for l in 0..levels {
+        let mut row = vec![l.to_string()];
+        row.extend(finals.iter().map(|(_, s)| fmt_pct(s.per_level[l])));
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trend_holds_per_benchmark() {
+        let opts = ExpOptions::quick();
+        for bench in [Bench::Gcc, Bench::RandomUniform] {
+            let snaps = collect(&opts, bench);
+            let last = &snaps.last().unwrap().per_level;
+            let levels = last.len();
+            assert!(
+                last[levels - 1] > last[levels / 2],
+                "{bench:?}: bottom {} vs middle {}",
+                last[levels - 1],
+                last[levels / 2]
+            );
+        }
+    }
+}

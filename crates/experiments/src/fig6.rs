@@ -1,0 +1,99 @@
+//! Fig. 6 — requested blocks are frequently found in the top tree levels.
+//!
+//! Counts, per tree level, how often the requested block was found there
+//! (the protocol's `served_level` histogram). Paper claim: the top ten
+//! levels hold under 0.01% of ORAM space yet serve ≈23% of requests — the
+//! tree top acts as an overflow buffer of the stash.
+
+use iroram_protocol::{BlockAddr, PathOram, ZAllocation};
+use iroram_trace::{Bench, WorkloadGen};
+
+use crate::render::{fmt_pct, Table};
+use crate::ExpOptions;
+
+/// Per-level serve counts plus the stash count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeHistogram {
+    /// Hits per tree level.
+    pub per_level: Vec<u64>,
+    /// Requests served from the stash.
+    pub stash: u64,
+    /// Total requests issued.
+    pub total: u64,
+}
+
+impl ServeHistogram {
+    /// Fraction of requests served by the top `k` levels.
+    pub fn top_fraction(&self, k: usize) -> f64 {
+        let top: u64 = self.per_level[..k.min(self.per_level.len())].iter().sum();
+        top as f64 / self.total.max(1) as f64
+    }
+}
+
+/// Runs the mix workload and gathers the serve histogram.
+pub fn collect(opts: &ExpOptions) -> ServeHistogram {
+    let cfg = opts.funct_oram(|l, _| ZAllocation::uniform(l, 4));
+    let n = cfg.data_blocks;
+    let mut oram = PathOram::new(cfg);
+    let mut gen = WorkloadGen::for_bench(Bench::Mix, n, opts.seed);
+    let total = n * opts.funct_accesses_per_block / 2;
+    for _ in 0..total {
+        let r = gen.next_record();
+        oram.run_access(BlockAddr(r.addr), None);
+    }
+    let s = oram.stats();
+    ServeHistogram {
+        per_level: s.served_level.clone(),
+        stash: s.served_stash + s.fstash_hits,
+        total: s.accesses,
+    }
+}
+
+/// Builds the Fig. 6 table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let h = collect(opts);
+    let mut t = Table::new(
+        "Fig. 6: where requested blocks are found (mix workload)",
+        ["Level", "hits", "share"],
+    );
+    t.row([
+        "stash".to_owned(),
+        h.stash.to_string(),
+        fmt_pct(h.stash as f64 / h.total.max(1) as f64),
+    ]);
+    for (l, &c) in h.per_level.iter().enumerate() {
+        t.row([
+            l.to_string(),
+            c.to_string(),
+            fmt_pct(c as f64 / h.total.max(1) as f64),
+        ]);
+    }
+    let top = h.per_level.len() * 2 / 5;
+    t.row([
+        format!("top-{top} total"),
+        h.per_level[..top].iter().sum::<u64>().to_string(),
+        fmt_pct(h.top_fraction(top)),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_levels_have_outsized_share() {
+        let opts = ExpOptions::quick();
+        let h = collect(&opts);
+        let levels = h.per_level.len();
+        let top = levels * 2 / 5;
+        // The top 40% of levels hold a tiny fraction of space but should
+        // serve a disproportionate share of requests (paper: ~23%).
+        let share = h.top_fraction(top);
+        assert!(
+            share > 0.05,
+            "top-{top} share {share:.3} unexpectedly small"
+        );
+        assert!(h.total > 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Shared experiment plumbing: scaling options and batch runners.
+
+use ir_oram::{RunLimit, Scheme, SimReport, Simulation, SystemConfig};
+use iroram_protocol::{OramConfig, TreeTopMode, ZAllocation};
+use iroram_trace::Bench;
+
+/// Scaling knobs for the experiments.
+///
+/// `quick()` shrinks everything for smoke tests and CI; `default()` is the
+/// scale `EXPERIMENTS.md` reports; `full()` takes minutes per figure but
+/// gets closer to the paper's statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpOptions {
+    /// Memory operations replayed per timed run.
+    pub mem_ops: u64,
+    /// Tree height for timed (performance) runs.
+    pub timed_levels: usize,
+    /// Tree height for functional (utilization) studies.
+    pub funct_levels: usize,
+    /// Accesses per block for functional studies (the paper's 4 B accesses
+    /// on 64 M blocks ≈ 60× its block count; we default lower).
+    pub funct_accesses_per_block: u64,
+    /// Random-trace repetitions where the paper averages several traces.
+    pub random_trials: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl ExpOptions {
+    /// Tiny scale for smoke tests (seconds for the whole suite).
+    pub fn quick() -> Self {
+        ExpOptions {
+            mem_ops: 4_000,
+            timed_levels: 12,
+            funct_levels: 11,
+            funct_accesses_per_block: 4,
+            random_trials: 2,
+            seed: 0xE0,
+        }
+    }
+
+    /// The scale used for the recorded results.
+    pub fn standard() -> Self {
+        ExpOptions {
+            mem_ops: 40_000,
+            timed_levels: 17,
+            funct_levels: 14,
+            funct_accesses_per_block: 12,
+            random_trials: 5,
+            seed: 0xE0,
+        }
+    }
+
+    /// Larger runs for tighter statistics.
+    pub fn full() -> Self {
+        ExpOptions {
+            mem_ops: 150_000,
+            timed_levels: 17,
+            funct_levels: 16,
+            funct_accesses_per_block: 24,
+            random_trials: 13,
+            seed: 0xE0,
+        }
+    }
+
+    /// Parses `--quick` / `--full` style CLI arguments (anything else keeps
+    /// the standard scale).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            ExpOptions::quick()
+        } else if args.iter().any(|a| a == "--full") {
+            ExpOptions::full()
+        } else {
+            ExpOptions::standard()
+        }
+    }
+
+    /// The timed-simulation system config for `scheme` at this scale.
+    pub fn system(&self, scheme: Scheme) -> SystemConfig {
+        let mut cfg = SystemConfig::scaled(scheme);
+        cfg.seed = self.seed;
+        cfg.oram.seed = self.seed;
+        if self.timed_levels != cfg.oram.levels {
+            let levels = self.timed_levels;
+            cfg.oram.levels = levels;
+            cfg.oram.data_blocks = 1u64 << (levels + 1);
+            cfg.oram.zalloc = ZAllocation::uniform(levels, 4);
+            let top = (levels * 2 / 5).max(1);
+            cfg.oram.treetop = TreeTopMode::Dedicated { levels: top };
+            // Shrink the caches with the tree so miss behaviour scales,
+            // but keep them big enough that workload hot sets stay resident
+            // (tiny quick-scale caches would otherwise thrash).
+            cfg.hierarchy = iroram_cache::HierarchyConfig::scaled(
+                (32usize << (17 - levels.min(17))).min(128),
+            );
+            cfg.t_interval = SystemConfig::t_for(&cfg.oram);
+        }
+        cfg.with_scheme(scheme)
+    }
+
+    /// A functional-study ORAM config at this scale: `levels` high,
+    /// `2^(levels+1)` data blocks (≈52% utilization), top ~40% of levels
+    /// cached like the paper's 10-of-25.
+    pub fn funct_oram(&self, zalloc_of: impl Fn(usize, usize) -> ZAllocation) -> OramConfig {
+        let levels = self.funct_levels;
+        let top = (levels * 2 / 5).max(1);
+        OramConfig {
+            levels,
+            data_blocks: 1u64 << (levels + 1),
+            zalloc: zalloc_of(levels, top),
+            treetop: TreeTopMode::Dedicated { levels: top },
+            stash_capacity: 200,
+            plb_sets: 16,
+            plb_ways: 4,
+            remap: iroram_protocol::RemapPolicy::Immediate,
+            max_bg_evicts_per_access: 8,
+            encrypt_payloads: false,
+            seed: self.seed,
+        }
+    }
+
+    /// The run limit for timed simulations.
+    pub fn limit(&self) -> RunLimit {
+        RunLimit::mem_ops(self.mem_ops)
+    }
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions::standard()
+    }
+}
+
+/// The benchmark list used in the performance figures: Table II's thirteen
+/// plus the `mix` bar.
+pub fn perf_benches() -> Vec<Bench> {
+    let mut v = iroram_trace::ALL_BENCHES.to_vec();
+    v.push(Bench::Mix);
+    v
+}
+
+/// Runs one scheme across `benches`.
+pub fn run_scheme(opts: &ExpOptions, scheme: Scheme, benches: &[Bench]) -> Vec<SimReport> {
+    let cfg = opts.system(scheme);
+    benches
+        .iter()
+        .map(|&b| Simulation::run_bench(&cfg, b, opts.limit()))
+        .collect()
+}
+
+/// Geometric mean of positive values (0 for an empty slice).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let q = ExpOptions::quick();
+        let s = ExpOptions::standard();
+        let f = ExpOptions::full();
+        assert!(q.mem_ops < s.mem_ops && s.mem_ops < f.mem_ops);
+        assert!(q.funct_levels <= s.funct_levels);
+        assert!(s.random_trials < f.random_trials);
+    }
+
+    #[test]
+    fn funct_config_is_valid() {
+        let opts = ExpOptions::quick();
+        let cfg = opts.funct_oram(|l, _| ZAllocation::uniform(l, 4));
+        cfg.validate();
+    }
+
+    #[test]
+    fn perf_benches_include_mix() {
+        let b = perf_benches();
+        assert_eq!(b.len(), 14);
+        assert_eq!(*b.last().unwrap(), Bench::Mix);
+    }
+}

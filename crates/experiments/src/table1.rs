@@ -1,0 +1,57 @@
+//! Table I — system configuration.
+//!
+//! Prints the simulated system's configuration next to the paper's values,
+//! making the scaling factors explicit.
+
+use ir_oram::Scheme;
+
+use crate::render::Table;
+use crate::ExpOptions;
+
+/// Paper Table I values for side-by-side comparison.
+fn paper_value(key: &str) -> &'static str {
+    match key {
+        k if k.contains("ROB") => "4 / 128",
+        k if k.contains("Channels") => "4",
+        k if k.contains("DRAM") => "800 MHz",
+        k if k.contains("L1") => "2-way 256KB",
+        k if k.contains("LLC") => "8-way 2MB",
+        k if k.contains("Protected") => "8GB / 4GB",
+        k if k.contains("levels") => "25",
+        k if k.contains("Bucket") => "4 / 64B",
+        k if k.contains("Stash") => "200",
+        k if k.contains("tree top") => "256KB (4K entries)",
+        k if k.contains("interval") => "1000 cycles",
+        _ => "-",
+    }
+}
+
+/// Builds the Table I reproduction.
+pub fn run(opts: &ExpOptions) -> Table {
+    let cfg = opts.system(Scheme::Baseline);
+    let mut t = Table::new(
+        "Table I: system configuration (this reproduction vs. paper)",
+        ["Parameter", "This repo (scaled)", "Paper"],
+    );
+    for (k, v) in cfg.table1() {
+        let p = paper_value(&k).to_owned();
+        t.row([k, v, p]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_rows_with_paper_column() {
+        let t = run(&ExpOptions::quick());
+        assert!(t.rows.len() >= 10);
+        assert!(t.rows.iter().all(|r| r.len() == 3));
+        assert!(t
+            .rows
+            .iter()
+            .any(|r| r[0].contains("Stash") && r[2] == "200"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Table II — evaluated benchmarks and their read/write MPKI.
+//!
+//! Streams each calibrated workload model through the cache hierarchy alone
+//! (no ORAM timing needed for MPKI) and reports the measured L2 read/write
+//! MPKI next to the paper's targets.
+
+use ir_oram::Scheme;
+use iroram_cache::MemoryHierarchy;
+use iroram_trace::{Bench, WorkloadGen, ALL_BENCHES};
+
+use crate::render::{fmt_f, Table};
+use crate::ExpOptions;
+
+/// One benchmark's calibration outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mpki {
+    /// Measured read MPKI.
+    pub read: f64,
+    /// Measured write MPKI.
+    pub write: f64,
+}
+
+/// Measures `bench`'s MPKI over `ops` memory operations.
+pub fn measure(opts: &ExpOptions, bench: Bench, ops: u64) -> Mpki {
+    let cfg = opts.system(Scheme::Baseline);
+    let mut h = MemoryHierarchy::new(cfg.hierarchy);
+    let mut gen = WorkloadGen::for_bench(bench, cfg.data_blocks(), opts.seed);
+    let mut insts = 0u64;
+    for _ in 0..ops {
+        let r = gen.next_record();
+        insts += r.gap as u64 + 1;
+        h.access(r.addr, r.is_write);
+    }
+    let s = h.stats();
+    let kilo = insts as f64 / 1000.0;
+    Mpki {
+        read: s.read_misses as f64 / kilo,
+        write: s.write_misses as f64 / kilo,
+    }
+}
+
+/// Builds the Table II reproduction.
+pub fn run(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Table II: benchmark read/write MPKI (measured vs. paper targets)",
+        [
+            "Benchmark",
+            "read MPKI",
+            "write MPKI",
+            "paper read",
+            "paper write",
+        ],
+    );
+    let ops = (opts.mem_ops * 4).max(20_000);
+    for bench in ALL_BENCHES {
+        let m = measure(opts, bench, ops);
+        t.row([
+            bench.name().to_owned(),
+            fmt_f(m.read, 2),
+            fmt_f(m.write, 2),
+            fmt_f(bench.read_mpki(), 2),
+            fmt_f(bench.write_mpki(), 2),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_shape_tracks_targets() {
+        let opts = ExpOptions::quick();
+        let mcf = measure(&opts, Bench::Mcf, 30_000);
+        let lbm = measure(&opts, Bench::Lbm, 30_000);
+        let xal = measure(&opts, Bench::Xal, 30_000);
+        // Read-dominated vs write-dominated.
+        assert!(mcf.read > mcf.write * 5.0, "mcf {mcf:?}");
+        assert!(lbm.write > lbm.read * 5.0 || lbm.read < 0.5, "lbm {lbm:?}");
+        // Intensity ordering.
+        assert!(mcf.read > xal.read * 10.0, "mcf {mcf:?} vs xal {xal:?}");
+        assert!(lbm.write > 10.0 * (xal.write + 0.01), "lbm {lbm:?}");
+    }
+
+    #[test]
+    fn table_covers_all_benchmarks() {
+        let t = run(&ExpOptions::quick());
+        assert_eq!(t.rows.len(), ALL_BENCHES.len());
+    }
+}

@@ -1,0 +1,610 @@
+//! The timed ORAM controller: fixed-rate path issue over the DRAM model.
+
+use std::collections::VecDeque;
+
+use iroram_cache::MemoryHierarchy;
+use serde::{Deserialize, Serialize};
+use iroram_dram::{DramSystem, MemRequest, SubtreeLayout};
+use iroram_protocol::{BlockAddr, PathOram, PathRecord, RemapPolicy};
+use iroram_sim_engine::{ClockRatio, Cycle};
+
+use crate::{DwbEngine, SystemConfig};
+
+/// Identifier of an in-flight ORAM request.
+pub type ReqId = u64;
+
+/// A request submitted to the ORAM controller after missing the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OramRequest {
+    /// Request id (assigned by the simulator).
+    pub id: ReqId,
+    /// Block address.
+    pub addr: BlockAddr,
+    /// Cycle the request reached the controller.
+    pub arrival: Cycle,
+    /// Whether the CPU waits for this request (demand read miss).
+    pub blocking: bool,
+}
+
+/// Slot-level accounting (what each timing-protection slot carried).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotStats {
+    /// Total path slots issued.
+    pub total_slots: u64,
+    /// Slots carrying real work (PosMap, data, delayed write-back paths).
+    pub real_slots: u64,
+    /// Slots carrying background-eviction paths.
+    pub bg_slots: u64,
+    /// Slots carrying plain dummy paths.
+    pub dummy_slots: u64,
+    /// Slots converted by IR-DWB.
+    pub converted_slots: u64,
+}
+
+#[derive(Debug)]
+enum Work {
+    /// A demand request: pending PosMap fetches, then the data path.
+    Request {
+        req: OramRequest,
+        pm: VecDeque<BlockAddr>,
+    },
+    /// A delayed-remap write-back: PosMap fetches, then a free stash insert.
+    DelayedWb {
+        addr: BlockAddr,
+        pm: VecDeque<BlockAddr>,
+    },
+}
+
+/// The timed Path ORAM controller for all single-tree schemes.
+///
+/// Drives the functional protocol one path per slot, schedules each path's
+/// block reads/writes on the DRAM model (via the subtree layout), enforces
+/// the timing-channel discipline (a slot every `T` cycles, dummies when
+/// idle, every path identical in shape), and hosts the IR-DWB engine.
+#[derive(Debug)]
+pub struct TimedController {
+    /// The functional protocol instance.
+    pub protocol: PathOram,
+    dram: DramSystem,
+    layout_mem: SubtreeLayout,
+    t_interval: u64,
+    timing_protection: bool,
+    clock: ClockRatio,
+    decrypt_lat: u64,
+    front_hit_lat: u64,
+    next_slot: Cycle,
+    queue: VecDeque<OramRequest>,
+    wb_queue: VecDeque<BlockAddr>,
+    current: Option<Work>,
+    dwb: Option<DwbEngine>,
+    completions: Vec<(ReqId, Cycle)>,
+    slot_stats: SlotStats,
+    last_write_done: Cycle,
+}
+
+impl TimedController {
+    /// Builds the controller (protocol init included) for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` requests the ρ scheme (use
+    /// [`crate::RhoController`]).
+    pub fn new(cfg: &SystemConfig) -> Self {
+        assert!(
+            !cfg.scheme.uses_rho(),
+            "TimedController does not implement ρ; use RhoController"
+        );
+        let protocol = PathOram::new(cfg.oram.clone());
+        let cached = cfg.oram.treetop.cached_levels();
+        let layout_mem = SubtreeLayout::new(
+            &protocol.layout().memory_z(cached),
+            cfg.subtree_group,
+        );
+        let dwb = cfg
+            .scheme
+            .uses_dwb()
+            .then(|| DwbEngine::new(cfg.seed ^ 0xD00D));
+        TimedController {
+            protocol,
+            dram: DramSystem::new(cfg.dram),
+            layout_mem,
+            t_interval: cfg.t_interval,
+            timing_protection: cfg.timing_protection,
+            clock: cfg.clock,
+            decrypt_lat: cfg.decrypt_lat,
+            front_hit_lat: cfg.front_hit_lat,
+            next_slot: Cycle(cfg.t_interval),
+            queue: VecDeque::new(),
+            wb_queue: VecDeque::new(),
+            current: None,
+            dwb,
+            completions: Vec::new(),
+            slot_stats: SlotStats::default(),
+            last_write_done: Cycle::ZERO,
+        }
+    }
+
+    /// The DRAM system's statistics.
+    pub fn dram_stats(&self) -> &iroram_dram::DramStats {
+        self.dram.stats()
+    }
+
+    /// Slot accounting.
+    pub fn slot_stats(&self) -> &SlotStats {
+        &self.slot_stats
+    }
+
+    /// IR-DWB statistics, if the engine is enabled.
+    pub fn dwb_stats(&self) -> Option<crate::dwb::DwbStats> {
+        self.dwb.as_ref().map(|d| *d.stats())
+    }
+
+    /// Pending request-queue depth (for CPU back-pressure).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len() + usize::from(self.current.is_some())
+    }
+
+    /// Whether any real (non-dummy) work remains.
+    pub fn has_real_work(&self) -> bool {
+        self.current.is_some()
+            || !self.queue.is_empty()
+            || !self.wb_queue.is_empty()
+            || self.protocol.bg_evict_pending()
+    }
+
+    /// Tries to serve an LLC miss from the on-chip front stores (F-Stash,
+    /// escrow, S-Stash). On a hit returns the completion time; the request
+    /// never consumes a path slot.
+    pub fn front_try(&mut self, addr: BlockAddr, now: Cycle) -> Option<Cycle> {
+        self.protocol
+            .front_access(addr, None)
+            .map(|_| now + self.front_hit_lat)
+    }
+
+    /// Submits a demand request (the caller should have tried
+    /// [`TimedController::front_try`] first).
+    pub fn submit(&mut self, req: OramRequest) {
+        self.queue.push_back(req);
+    }
+
+    /// Notifies the controller of an LLC eviction. Dirty lines become write
+    /// requests (immediate remap) or delayed write-backs; IR-DWB aborts any
+    /// sequence targeting the line.
+    pub fn on_llc_eviction(&mut self, addr: BlockAddr, dirty: bool, now: Cycle, id: ReqId) {
+        if let Some(dwb) = &mut self.dwb {
+            dwb.on_eviction(addr);
+        }
+        match self.protocol.config().remap {
+            RemapPolicy::Immediate => {
+                if dirty {
+                    // The ORAM write access; nobody waits on it. If the
+                    // block is still in an on-chip store, the write merges
+                    // for free.
+                    if self.protocol.front_access(addr, None).is_none() {
+                        self.queue.push_back(OramRequest {
+                            id,
+                            addr,
+                            arrival: now,
+                            blocking: false,
+                        });
+                    }
+                }
+            }
+            RemapPolicy::Delayed => {
+                // Clean or dirty: the block must re-enter the ORAM — unless
+                // it was never removed (it was served from S-Stash and still
+                // lives in the tree).
+                if self.protocol.is_escrowed(addr) {
+                    self.wb_queue.push_back(addr);
+                }
+            }
+        }
+    }
+
+    /// Drains accumulated request completions.
+    pub fn take_completions(&mut self) -> Vec<(ReqId, Cycle)> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Processes every slot due at or before `now`.
+    pub fn advance_until(&mut self, now: Cycle, hierarchy: &mut MemoryHierarchy) {
+        while self.next_slot <= now {
+            self.process_slot(hierarchy);
+        }
+    }
+
+    /// Advances slots until request `id` completes, returning its completion
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is unknown (never submitted) — the queue is
+    /// FIFO, so a submitted request always completes.
+    pub fn advance_until_complete(
+        &mut self,
+        id: ReqId,
+        hierarchy: &mut MemoryHierarchy,
+    ) -> Cycle {
+        loop {
+            if let Some(&(_, done)) = self.completions.iter().find(|&&(rid, _)| rid == id) {
+                return done;
+            }
+            assert!(
+                self.has_real_work(),
+                "request {id} cannot complete: no work pending"
+            );
+            self.process_slot(hierarchy);
+        }
+    }
+
+    /// Advances slots until the pending queue drops below `limit` (CPU
+    /// back-pressure when the miss queue fills).
+    pub fn advance_until_queue_below(
+        &mut self,
+        limit: usize,
+        hierarchy: &mut MemoryHierarchy,
+    ) -> Cycle {
+        while self.queue_len() >= limit {
+            self.process_slot(hierarchy);
+        }
+        self.next_slot
+    }
+
+    /// Runs slots until all real work drains. Returns the time the last
+    /// path's write phase finished.
+    pub fn drain(&mut self, hierarchy: &mut MemoryHierarchy) -> Cycle {
+        while self.has_real_work() {
+            self.process_slot(hierarchy);
+        }
+        self.last_write_done.max(self.next_slot)
+    }
+
+    /// Issues one slot. Public for lock-step tests; normal callers use the
+    /// `advance_*` methods.
+    pub fn process_slot(&mut self, hierarchy: &mut MemoryHierarchy) {
+        let t = self.next_slot;
+        let mut issued: Option<PathRecord> = None;
+        let mut completes: Option<ReqId> = None;
+
+        // Find the path for this slot; protocol steps that resolve on-chip
+        // consume no slot and we keep looking.
+        loop {
+            match self.current.take() {
+                Some(Work::Request { req, mut pm }) => {
+                    if let Some(pm_addr) = pm.pop_front() {
+                        let rec = self.protocol.fetch_posmap_block(pm_addr);
+                        self.current = Some(Work::Request { req, pm });
+                        if let Some(&p) = rec.paths.first() {
+                            issued = Some(p);
+                            break;
+                        }
+                        continue; // PosMap block was on-chip
+                    }
+                    // Data phase. A duplicate request may find the block
+                    // already escrowed (fetched by an earlier request under
+                    // delayed remapping) or back on-chip — serve it for
+                    // free.
+                    if self.protocol.front_access(req.addr, None).is_some() {
+                        if req.blocking {
+                            self.completions.push((req.id, t + self.front_hit_lat));
+                        }
+                        continue;
+                    }
+                    let rec = self.protocol.data_access(req.addr, None);
+                    match rec.paths.first() {
+                        Some(&p) => {
+                            issued = Some(p);
+                            if req.blocking {
+                                completes = Some(req.id);
+                            }
+                            break;
+                        }
+                        None => {
+                            // Found on-chip (tree top / stash): complete now.
+                            if req.blocking {
+                                self.completions.push((req.id, t + self.front_hit_lat));
+                            }
+                            continue;
+                        }
+                    }
+                }
+                Some(Work::DelayedWb { addr, mut pm }) => {
+                    if let Some(pm_addr) = pm.pop_front() {
+                        let rec = self.protocol.fetch_posmap_block(pm_addr);
+                        self.current = Some(Work::DelayedWb { addr, pm });
+                        if let Some(&p) = rec.paths.first() {
+                            issued = Some(p);
+                            break;
+                        }
+                        continue;
+                    }
+                    // The block may have been re-evicted (duplicate queue
+                    // entry) or already re-inserted; only escrowed blocks
+                    // re-enter.
+                    if self.protocol.is_escrowed(addr) {
+                        self.protocol.delayed_insert_block(addr);
+                    }
+                    continue;
+                }
+                None => {}
+            }
+            // Background eviction outranks new work: the stash must drain.
+            if self.protocol.bg_evict_pending() {
+                issued = Some(self.protocol.bg_evict_once());
+                self.slot_stats.bg_slots += 1;
+                self.slot_stats.total_slots += 1;
+                self.finish_path(t, issued.expect("just issued"), None);
+                return;
+            }
+            // Start the next demand request that has arrived.
+            if self
+                .queue
+                .front()
+                .is_some_and(|r| r.arrival <= t)
+            {
+                let req = self.queue.pop_front().expect("checked front");
+                let pm = self.protocol.posmap_resolve(req.addr).into();
+                self.current = Some(Work::Request { req, pm });
+                continue;
+            }
+            // Delayed write-backs fill remaining capacity.
+            if let Some(addr) = self.wb_queue.pop_front() {
+                let pm = self.protocol.posmap_resolve(addr).into();
+                self.current = Some(Work::DelayedWb { addr, pm });
+                continue;
+            }
+            break; // no real work eligible
+        }
+
+        match issued {
+            Some(path) => {
+                self.slot_stats.total_slots += 1;
+                self.slot_stats.real_slots += 1;
+                self.finish_path(t, path, completes);
+            }
+            None => {
+                // Idle slot: IR-DWB conversion, else a dummy.
+                if let Some(mut dwb) = self.dwb.take() {
+                    if let Some(path) = dwb.try_convert(&mut self.protocol, hierarchy, t) {
+                        self.dwb = Some(dwb);
+                        self.slot_stats.total_slots += 1;
+                        self.slot_stats.converted_slots += 1;
+                        self.finish_path(t, path, None);
+                        return;
+                    }
+                    self.dwb = Some(dwb);
+                }
+                if self.timing_protection {
+                    let path = self.protocol.dummy_path();
+                    self.slot_stats.total_slots += 1;
+                    self.slot_stats.dummy_slots += 1;
+                    self.finish_path(t, path, None);
+                } else {
+                    // No fixed-rate discipline: skip ahead to the next work
+                    // arrival (or one interval if nothing is pending).
+                    let next_arrival = self.queue.front().map(|r| r.arrival);
+                    self.next_slot = match next_arrival {
+                        Some(a) if a > t => a,
+                        _ => t + self.t_interval,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Schedules the path's DRAM traffic and advances the slot clock.
+    fn finish_path(&mut self, t: Cycle, path: PathRecord, completes: Option<ReqId>) {
+        let lines = self.layout_mem.path_slots(path.leaf.0, 0);
+        let arrival = self.clock.fast_to_slow(t);
+        let reads: Vec<MemRequest> = lines
+            .iter()
+            .map(|&a| MemRequest::read(a, arrival))
+            .collect();
+        let read_done = self.dram.schedule_batch_done(&reads, arrival);
+        let writes: Vec<MemRequest> = lines
+            .iter()
+            .map(|&a| MemRequest::write(a, read_done))
+            .collect();
+        let write_done = self.dram.schedule_batch_done(&writes, read_done);
+        let read_done_cpu = self.clock.slow_to_fast(read_done) + self.decrypt_lat;
+        let write_done_cpu = self.clock.slow_to_fast(write_done);
+        self.last_write_done = self.last_write_done.max(write_done_cpu);
+        if let Some(id) = completes {
+            self.completions.push((id, read_done_cpu));
+        }
+        // Fixed rate with the occupancy constraint: the controller finishes
+        // a path's read phase before issuing the next path; the write phase
+        // drains through the memory controller in the background and
+        // contends with the next path's reads via DRAM bank/bus state.
+        self.next_slot = (t + self.t_interval).max(self.clock.slow_to_fast(read_done));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheme;
+    use iroram_cache::HierarchyConfig;
+
+    fn tiny_system(scheme: Scheme) -> SystemConfig {
+        let mut cfg = SystemConfig::scaled(scheme);
+        cfg.oram.levels = 9;
+        cfg.oram.data_blocks = 1 << 10;
+        cfg.oram.zalloc = iroram_protocol::ZAllocation::uniform(9, 4);
+        cfg.oram.treetop = iroram_protocol::TreeTopMode::Dedicated { levels: 3 };
+        cfg.oram.plb_sets = 4;
+        cfg.oram.plb_ways = 2;
+        cfg.hierarchy = HierarchyConfig {
+            l1_sets: 8,
+            l1_assoc: 2,
+            llc_sets: 32,
+            llc_assoc: 4,
+        };
+        cfg.with_scheme(scheme)
+    }
+
+    fn hierarchy(cfg: &SystemConfig) -> MemoryHierarchy {
+        MemoryHierarchy::new(cfg.hierarchy)
+    }
+
+    #[test]
+    fn blocking_request_completes() {
+        let cfg = tiny_system(Scheme::Baseline);
+        let mut ctl = TimedController::new(&cfg);
+        let mut h = hierarchy(&cfg);
+        let addr = BlockAddr(5);
+        if ctl.front_try(addr, Cycle(0)).is_some() {
+            return; // randomly resident on-chip; nothing to test
+        }
+        ctl.submit(OramRequest {
+            id: 1,
+            addr,
+            arrival: Cycle(0),
+            blocking: true,
+        });
+        let done = ctl.advance_until_complete(1, &mut h);
+        assert!(done > Cycle(0));
+        assert!(ctl.slot_stats().total_slots >= 1);
+    }
+
+    #[test]
+    fn slots_respect_t_interval() {
+        let cfg = tiny_system(Scheme::Baseline);
+        let mut ctl = TimedController::new(&cfg);
+        let mut h = hierarchy(&cfg);
+        // Run 50 dummy slots.
+        for _ in 0..50 {
+            ctl.process_slot(&mut h);
+        }
+        let s = ctl.slot_stats();
+        assert_eq!(s.total_slots, 50);
+        assert_eq!(s.dummy_slots, 50, "no work → all dummies");
+        // The slot clock advanced by at least 50 × T.
+        assert!(ctl.next_slot >= Cycle(50 * cfg.t_interval));
+    }
+
+    #[test]
+    fn dummy_paths_touch_dram_like_real_ones() {
+        let cfg = tiny_system(Scheme::Baseline);
+        let mut ctl = TimedController::new(&cfg);
+        let mut h = hierarchy(&cfg);
+        ctl.process_slot(&mut h);
+        let per_path = ctl.dram_stats().requests;
+        assert_eq!(
+            per_path,
+            2 * ctl.protocol.layout().path_len_memory(3),
+            "one read + one write per memory slot on the path"
+        );
+    }
+
+    #[test]
+    fn no_timing_protection_no_dummies() {
+        let mut cfg = tiny_system(Scheme::Baseline);
+        cfg.timing_protection = false;
+        let mut ctl = TimedController::new(&cfg);
+        let mut h = hierarchy(&cfg);
+        for _ in 0..20 {
+            ctl.process_slot(&mut h);
+        }
+        assert_eq!(ctl.slot_stats().dummy_slots, 0);
+        assert_eq!(ctl.dram_stats().requests, 0);
+    }
+
+    #[test]
+    fn dirty_eviction_immediate_becomes_write_request() {
+        let cfg = tiny_system(Scheme::Baseline);
+        let mut ctl = TimedController::new(&cfg);
+        let _h = hierarchy(&cfg);
+        // Use an address guaranteed not on-chip by draining front first.
+        let mut victim = None;
+        for a in 0..64 {
+            if ctl.front_try(BlockAddr(a), Cycle(0)).is_none() {
+                victim = Some(BlockAddr(a));
+                break;
+            }
+        }
+        let victim = victim.expect("some block off-chip");
+        let before = ctl.queue_len();
+        ctl.on_llc_eviction(victim, true, Cycle(0), 77);
+        assert_eq!(ctl.queue_len(), before + 1);
+        // Clean evictions are free under immediate remap.
+        ctl.on_llc_eviction(victim, false, Cycle(0), 78);
+        assert_eq!(ctl.queue_len(), before + 1);
+    }
+
+    #[test]
+    fn delayed_eviction_requeues_escrowed_blocks() {
+        let cfg = tiny_system(Scheme::LlcD);
+        let mut ctl = TimedController::new(&cfg);
+        let mut h = hierarchy(&cfg);
+        // Access a block so it gets escrowed.
+        ctl.submit(OramRequest {
+            id: 1,
+            addr: BlockAddr(9),
+            arrival: Cycle(0),
+            blocking: true,
+        });
+        ctl.advance_until_complete(1, &mut h);
+        if ctl.protocol.is_escrowed(BlockAddr(9)) {
+            ctl.on_llc_eviction(BlockAddr(9), false, Cycle(10_000), 2);
+            assert!(ctl.has_real_work());
+            ctl.drain(&mut h);
+            assert!(!ctl.protocol.is_escrowed(BlockAddr(9)));
+        }
+    }
+
+    #[test]
+    fn dwb_converts_dummies_for_dirty_llc_lines() {
+        let cfg = tiny_system(Scheme::IrDwb);
+        let mut ctl = TimedController::new(&cfg);
+        let mut h = hierarchy(&cfg);
+        // Make several LLC lines dirty.
+        for a in 0..8u64 {
+            h.access(a, true);
+        }
+        for _ in 0..40 {
+            ctl.process_slot(&mut h);
+        }
+        let s = ctl.slot_stats();
+        assert!(
+            s.converted_slots > 0,
+            "dummy slots should convert to write-backs"
+        );
+        let d = ctl.dwb_stats().expect("engine enabled");
+        assert!(d.completed > 0, "at least one line fully cleaned");
+    }
+
+    #[test]
+    fn fifo_order_of_blocking_requests() {
+        let cfg = tiny_system(Scheme::Baseline);
+        let mut ctl = TimedController::new(&cfg);
+        let mut h = hierarchy(&cfg);
+        let mut ids = Vec::new();
+        let mut id = 0;
+        for a in 100..110 {
+            if ctl.front_try(BlockAddr(a), Cycle(0)).is_none() {
+                id += 1;
+                ctl.submit(OramRequest {
+                    id,
+                    addr: BlockAddr(a),
+                    arrival: Cycle(0),
+                    blocking: true,
+                });
+                ids.push(id);
+            }
+        }
+        if ids.is_empty() {
+            return;
+        }
+        let last = *ids.last().expect("nonempty");
+        ctl.advance_until_complete(last, &mut h);
+        let completions = ctl.take_completions();
+        let order: Vec<ReqId> = completions.iter().map(|&(i, _)| i).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted, "FIFO completions");
+        // Completion times are non-decreasing as well.
+        let times: Vec<Cycle> = completions.iter().map(|&(_, t)| t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

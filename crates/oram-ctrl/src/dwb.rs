@@ -1,0 +1,232 @@
+//! The IR-DWB engine (paper Section IV-D, Fig. 9).
+//!
+//! When the timing-protection slot would otherwise carry a dummy path,
+//! IR-DWB spends it flushing a *dirty LRU* LLC line instead: up to two
+//! PosMap paths (the paper's `Stage = 3/2`) followed by the data write path
+//! (`Stage = 1`), after which the LLC line is marked clean so its eventual
+//! eviction costs nothing. The engine aborts (clearing `Ptr`) whenever the
+//! candidate stops being the dirty LRU entry or is evicted normally.
+
+use iroram_cache::{DirtyLruScanner, MemoryHierarchy};
+use serde::{Deserialize, Serialize};
+use iroram_protocol::{BlockAddr, PathOram, PathRecord, PlbStatus};
+use iroram_sim_engine::{Cycle, SimRng};
+
+/// Statistics of the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DwbStats {
+    /// Dummy slots converted to useful paths.
+    pub converted_slots: u64,
+    /// Of those, PosMap paths (stages 3 and 2).
+    pub converted_posmap: u64,
+    /// Of those, data write paths (stage 1).
+    pub converted_data: u64,
+    /// LLC lines fully cleaned.
+    pub completed: u64,
+    /// Sequences aborted (candidate touched, cleaned, or evicted).
+    pub aborted: u64,
+}
+
+/// The dummy-to-write-back conversion engine.
+#[derive(Debug)]
+pub struct DwbEngine {
+    scanner: DirtyLruScanner,
+    /// The locked victim of an in-flight sequence (the paper's `Ptr` +
+    /// `Stage != 0` condition).
+    victim: Option<BlockAddr>,
+    stats: DwbStats,
+    rng: SimRng,
+}
+
+impl DwbEngine {
+    /// Creates an idle engine.
+    pub fn new(seed: u64) -> Self {
+        DwbEngine {
+            scanner: DirtyLruScanner::new(),
+            victim: None,
+            stats: DwbStats::default(),
+            rng: SimRng::seed_from(seed ^ 0xD3B),
+        }
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &DwbStats {
+        &self.stats
+    }
+
+    /// The paper's abort rule for victim selection: "if the entry is chosen
+    /// as a victim entry, we abort the early eviction … and perform the
+    /// normal eviction instead."
+    pub fn on_eviction(&mut self, addr: BlockAddr) {
+        if self.victim == Some(addr) {
+            self.victim = None;
+            self.scanner.release();
+            self.stats.aborted += 1;
+        }
+    }
+
+    /// Offers the engine a dummy slot at `now`. Returns the path access it
+    /// converted the slot into, or `None` if no conversion was possible
+    /// (the caller then issues a plain dummy path).
+    pub fn try_convert(
+        &mut self,
+        protocol: &mut PathOram,
+        hierarchy: &mut MemoryHierarchy,
+        now: Cycle,
+    ) -> Option<PathRecord> {
+        // Bound the number of candidates examined per slot: hardware checks
+        // one Ptr register, but on-chip serves can finish a candidate
+        // without producing a path, letting us look once more.
+        for _ in 0..4 {
+            // Keep/refresh the candidate (clears Ptr if it is no longer the
+            // dirty LRU entry, even when locked).
+            let had = self.victim;
+            self.scanner.step(hierarchy.llc(), now, &mut self.rng);
+            match self.scanner.candidate() {
+                Some(c) => {
+                    if had.is_some() && had != Some(BlockAddr(c)) {
+                        self.stats.aborted += 1;
+                    }
+                    self.victim = Some(BlockAddr(c));
+                    self.scanner.lock();
+                }
+                None => {
+                    if had.is_some() {
+                        self.stats.aborted += 1;
+                    }
+                    self.victim = None;
+                    return None;
+                }
+            }
+            let victim = self.victim.expect("just set");
+            // Derive the remaining work (the paper's Stage register) from
+            // PLB state.
+            match protocol.posmap_status(victim) {
+                PlbStatus::MissBoth => {
+                    let pm1 = protocol.posmap().space().pm1_block_of(victim);
+                    let pm2 = protocol.posmap().space().pm2_block_of(pm1);
+                    let r = protocol.fetch_posmap_block(pm2);
+                    if !r.paths.is_empty() {
+                        self.stats.converted_slots += 1;
+                        self.stats.converted_posmap += 1;
+                        return Some(r.paths[0]);
+                    }
+                    continue; // resolved on-chip; advance to the next stage
+                }
+                PlbStatus::MissPm1 => {
+                    let pm1 = protocol.posmap().space().pm1_block_of(victim);
+                    let r = protocol.fetch_posmap_block(pm1);
+                    if !r.paths.is_empty() {
+                        self.stats.converted_slots += 1;
+                        self.stats.converted_posmap += 1;
+                        return Some(r.paths[0]);
+                    }
+                    continue;
+                }
+                PlbStatus::Hit => {
+                    // Stage 1: write the dirty line's data back via a normal
+                    // (write) data access, then mark it clean.
+                    let r = protocol.data_access(victim, None);
+                    hierarchy.llc_mark_clean(victim.0);
+                    self.victim = None;
+                    self.scanner.release();
+                    self.stats.completed += 1;
+                    if let Some(&p) = r.paths.first() {
+                        self.stats.converted_slots += 1;
+                        self.stats.converted_data += 1;
+                        return Some(p);
+                    }
+                    continue; // served on-chip; slot still free, look again
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iroram_cache::HierarchyConfig;
+    use iroram_protocol::OramConfig;
+
+    fn setup() -> (PathOram, MemoryHierarchy, DwbEngine) {
+        let protocol = PathOram::new(OramConfig::tiny());
+        let hierarchy = MemoryHierarchy::new(HierarchyConfig {
+            l1_sets: 4,
+            l1_assoc: 1,
+            llc_sets: 8,
+            llc_assoc: 2,
+        });
+        (protocol, hierarchy, DwbEngine::new(9))
+    }
+
+    #[test]
+    fn no_dirty_lines_no_conversion() {
+        let (mut p, mut h, mut e) = setup();
+        h.access(1, false);
+        assert!(e.try_convert(&mut p, &mut h, Cycle(0)).is_none());
+        assert_eq!(e.stats().converted_slots, 0);
+    }
+
+    #[test]
+    fn converts_and_cleans_a_dirty_line() {
+        let (mut p, mut h, mut e) = setup();
+        h.access(3, true); // dirty LLC line for data block 3
+        let mut slots = 0;
+        // Drive dummy slots until the victim is fully cleaned.
+        while h.llc_is_dirty(3) && slots < 10 {
+            let _ = e.try_convert(&mut p, &mut h, Cycle(slots * 1000));
+            slots += 1;
+        }
+        assert!(!h.llc_is_dirty(3), "line should be cleaned via DWB");
+        assert_eq!(e.stats().completed, 1);
+        assert!(e.stats().converted_slots >= 1);
+    }
+
+    #[test]
+    fn stage_count_matches_plb_state() {
+        let (mut p, mut h, mut e) = setup();
+        h.access(5, true);
+        // Cold PLB: expect up to 2 posmap conversions + 1 data conversion.
+        let mut got = Vec::new();
+        for i in 0..6 {
+            if let Some(r) = e.try_convert(&mut p, &mut h, Cycle(i * 1000)) {
+                got.push(r.ptype);
+            }
+            if !h.llc_is_dirty(5) {
+                break;
+            }
+        }
+        assert!(!h.llc_is_dirty(5));
+        assert!(e.stats().converted_data <= 1);
+        assert!(
+            e.stats().converted_posmap <= 2,
+            "at most two posmap stages ({got:?})"
+        );
+    }
+
+    #[test]
+    fn eviction_aborts_sequence() {
+        let (mut p, mut h, mut e) = setup();
+        h.access(7, true);
+        // Start the sequence (locks the victim).
+        let _ = e.try_convert(&mut p, &mut h, Cycle(0));
+        e.on_eviction(BlockAddr(7));
+        assert_eq!(e.stats().aborted, 1);
+        // A foreign eviction does not abort.
+        e.on_eviction(BlockAddr(99));
+        assert_eq!(e.stats().aborted, 1);
+    }
+
+    #[test]
+    fn cleaned_elsewhere_aborts() {
+        let (mut p, mut h, mut e) = setup();
+        h.access(9, true);
+        let _ = e.try_convert(&mut p, &mut h, Cycle(0));
+        h.llc_mark_clean(9);
+        // Next slot: the scanner sees the candidate is clean → abort.
+        let _ = e.try_convert(&mut p, &mut h, Cycle(1000));
+        assert!(e.stats().aborted >= 1);
+    }
+}

@@ -1,0 +1,416 @@
+//! Full-system simulation driver and reports.
+
+use serde::{Deserialize, Serialize};
+
+use iroram_cache::{AccessOutcome, HierarchyStats, MemoryHierarchy};
+use iroram_dram::DramStats;
+use iroram_protocol::{BlockAddr, ProtocolStats};
+use iroram_sim_engine::Cycle;
+use iroram_trace::{Bench, WorkloadGen};
+
+use crate::cpu::IssueCheck;
+use crate::dwb::DwbStats;
+use crate::{OramRequest, RhoController, Scheme, SlotStats, SystemConfig, TimedController, TraceCpu};
+
+/// Demand-queue depth at which the core stalls (miss-queue back-pressure).
+const MAX_QUEUE: usize = 16;
+
+/// How long to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunLimit {
+    /// Memory operations to replay from the workload.
+    pub mem_ops: u64,
+}
+
+impl RunLimit {
+    /// Run for `n` memory operations.
+    pub fn mem_ops(n: u64) -> Self {
+        RunLimit { mem_ops: n }
+    }
+}
+
+/// The scheme-appropriate timed backend.
+#[derive(Debug)]
+pub enum Backend {
+    /// Single-tree controller (everything except ρ).
+    Single(TimedController),
+    /// The dual-tree ρ controller.
+    Rho(RhoController),
+}
+
+macro_rules! delegate {
+    ($self:ident, $b:ident => $e:expr) => {
+        match $self {
+            Backend::Single($b) => $e,
+            Backend::Rho($b) => $e,
+        }
+    };
+}
+
+impl Backend {
+    /// Builds the backend for `cfg`.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        if cfg.scheme.uses_rho() {
+            Backend::Rho(RhoController::new(cfg))
+        } else {
+            Backend::Single(TimedController::new(cfg))
+        }
+    }
+
+    fn front_try(&mut self, addr: BlockAddr, now: Cycle) -> Option<Cycle> {
+        delegate!(self, b => b.front_try(addr, now))
+    }
+
+    fn submit(&mut self, req: OramRequest) {
+        delegate!(self, b => b.submit(req))
+    }
+
+    fn on_llc_eviction(&mut self, addr: BlockAddr, dirty: bool, now: Cycle, id: u64) {
+        delegate!(self, b => b.on_llc_eviction(addr, dirty, now, id))
+    }
+
+    fn take_completions(&mut self) -> Vec<(u64, Cycle)> {
+        delegate!(self, b => b.take_completions())
+    }
+
+    fn advance_until(&mut self, now: Cycle, h: &mut MemoryHierarchy) {
+        delegate!(self, b => b.advance_until(now, h))
+    }
+
+    fn advance_until_complete(&mut self, id: u64, h: &mut MemoryHierarchy) -> Cycle {
+        delegate!(self, b => b.advance_until_complete(id, h))
+    }
+
+    fn advance_until_queue_below(&mut self, limit: usize, h: &mut MemoryHierarchy) -> Cycle {
+        delegate!(self, b => b.advance_until_queue_below(limit, h))
+    }
+
+    fn drain(&mut self, h: &mut MemoryHierarchy) -> Cycle {
+        delegate!(self, b => b.drain(h))
+    }
+
+    fn queue_len(&self) -> usize {
+        delegate!(self, b => b.queue_len())
+    }
+
+    fn slot_stats(&self) -> SlotStats {
+        delegate!(self, b => *b.slot_stats())
+    }
+
+    fn dram_stats(&self) -> DramStats {
+        delegate!(self, b => *b.dram_stats())
+    }
+
+    fn protocol_stats(&self) -> (ProtocolStats, Option<ProtocolStats>) {
+        match self {
+            Backend::Single(b) => (b.protocol.stats().clone(), None),
+            Backend::Rho(b) => (b.main.stats().clone(), Some(b.small.stats().clone())),
+        }
+    }
+
+    fn dwb_stats(&self) -> Option<DwbStats> {
+        match self {
+            Backend::Single(b) => b.dwb_stats(),
+            Backend::Rho(_) => None,
+        }
+    }
+
+    /// Per-level `(used, capacity)` of the (main) tree.
+    pub fn utilization(&self) -> Vec<(u64, u64)> {
+        match self {
+            Backend::Single(b) => b.protocol.utilization_per_level(),
+            Backend::Rho(b) => b.main.utilization_per_level(),
+        }
+    }
+}
+
+/// Results of one full-system run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Scheme simulated.
+    pub scheme: Scheme,
+    /// Workload name.
+    pub workload: String,
+    /// Execution time in CPU cycles (trace issue + memory drain).
+    pub cycles: u64,
+    /// Instructions represented by the replayed trace window.
+    pub instructions: u64,
+    /// Memory operations replayed.
+    pub mem_ops: u64,
+    /// Protocol statistics (main tree for ρ).
+    pub protocol: ProtocolStats,
+    /// Small-tree protocol statistics (ρ only).
+    pub protocol_small: Option<ProtocolStats>,
+    /// Slot accounting.
+    pub slots: SlotStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// Cache-hierarchy statistics.
+    pub hierarchy: HierarchyStats,
+    /// IR-DWB statistics, when the engine ran.
+    pub dwb: Option<DwbStats>,
+}
+
+impl SimReport {
+    /// Instructions per cycle achieved.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Measured read MPKI (LLC read misses per kilo-instruction).
+    pub fn read_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.hierarchy.read_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Measured write MPKI.
+    pub fn write_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.hierarchy.write_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Speedup of `self` relative to `base` (>1 means faster).
+    pub fn speedup_over(&self, base: &SimReport) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            base.cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total PosMap path accesses (main + small trees).
+    pub fn posmap_paths(&self) -> u64 {
+        self.protocol.posmap_paths()
+            + self
+                .protocol_small
+                .as_ref()
+                .map_or(0, ProtocolStats::posmap_paths)
+    }
+
+    /// Total paths of all types.
+    pub fn total_paths(&self) -> u64 {
+        self.protocol.total_paths()
+            + self
+                .protocol_small
+                .as_ref()
+                .map_or(0, ProtocolStats::total_paths)
+    }
+}
+
+/// The full-system simulation entry points.
+#[derive(Debug)]
+pub struct Simulation;
+
+impl Simulation {
+    /// Runs `bench`'s calibrated workload on `cfg`.
+    pub fn run_bench(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> SimReport {
+        let gen = WorkloadGen::for_bench(bench, cfg.data_blocks(), cfg.seed);
+        Self::run(cfg, gen, limit, bench.name())
+    }
+
+    /// Runs an arbitrary workload generator on `cfg`.
+    pub fn run(
+        cfg: &SystemConfig,
+        mut gen: WorkloadGen,
+        limit: RunLimit,
+        workload: &str,
+    ) -> SimReport {
+        let mut backend = Backend::new(cfg);
+        let mut hierarchy = MemoryHierarchy::new(cfg.hierarchy);
+        let mut cpu = TraceCpu::new(cfg.rob_insts, cfg.ipc, cfg.mshrs);
+        let mut next_id: u64 = 1;
+        let mut last_completion = Cycle::ZERO;
+
+        let mut ops = 0u64;
+        while ops < limit.mem_ops {
+            let rec = gen.next_record();
+            loop {
+                match cpu.try_issue(rec.gap) {
+                    IssueCheck::Ready(t) => {
+                        if backend.queue_len() >= MAX_QUEUE {
+                            backend.advance_until_queue_below(MAX_QUEUE, &mut hierarchy);
+                            for (id, done) in backend.take_completions() {
+                                last_completion = last_completion.max(done);
+                                cpu.complete(id, done);
+                            }
+                            continue;
+                        }
+                        let addr = BlockAddr(rec.addr);
+                        let (outcome, evicted) = hierarchy.access_full(rec.addr, rec.is_write);
+                        let mut latency = match outcome {
+                            AccessOutcome::L1Hit => cfg.l1_hit_lat,
+                            AccessOutcome::LlcHit => cfg.llc_hit_lat,
+                            AccessOutcome::Miss => 0,
+                        };
+                        let mut submitted_read: Option<u64> = None;
+                        if outcome == AccessOutcome::Miss {
+                            if backend.front_try(addr, t).is_some() {
+                                latency = cfg.front_hit_lat;
+                            } else {
+                                let id = next_id;
+                                next_id += 1;
+                                backend.submit(OramRequest {
+                                    id,
+                                    addr,
+                                    arrival: t,
+                                    blocking: !rec.is_write,
+                                });
+                                if !rec.is_write {
+                                    submitted_read = Some(id);
+                                }
+                            }
+                        }
+                        if let Some(ev) = evicted {
+                            let id = next_id;
+                            next_id += 1;
+                            backend.on_llc_eviction(BlockAddr(ev.addr), ev.dirty, t, id);
+                        }
+                        cpu.issue(rec.gap, t, latency);
+                        if let Some(id) = submitted_read {
+                            cpu.add_miss(id);
+                        }
+                        ops += 1;
+                        backend.advance_until(cpu.cursor(), &mut hierarchy);
+                        for (id, done) in backend.take_completions() {
+                            last_completion = last_completion.max(done);
+                            cpu.complete(id, done);
+                        }
+                        break;
+                    }
+                    IssueCheck::Blocked(req) => {
+                        backend.advance_until_complete(req, &mut hierarchy);
+                        for (id, done) in backend.take_completions() {
+                            last_completion = last_completion.max(done);
+                            cpu.complete(id, done);
+                        }
+                    }
+                }
+            }
+        }
+        // Drain the remaining memory work (queued writes, write-backs).
+        let drain_end = backend.drain(&mut hierarchy);
+        for (id, done) in backend.take_completions() {
+            last_completion = last_completion.max(done);
+            cpu.complete(id, done);
+        }
+        let cycles = cpu
+            .cursor()
+            .max(last_completion)
+            .max(cpu.last_known_completion())
+            .max(drain_end)
+            .raw();
+
+        let (protocol, protocol_small) = backend.protocol_stats();
+        SimReport {
+            scheme: cfg.scheme,
+            workload: workload.to_owned(),
+            cycles,
+            instructions: cpu.instructions(),
+            mem_ops: ops,
+            protocol,
+            protocol_small,
+            slots: backend.slot_stats(),
+            dram: backend.dram_stats(),
+            hierarchy: *hierarchy.stats(),
+            dwb: backend.dwb_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iroram_cache::HierarchyConfig;
+    use iroram_protocol::{TreeTopMode, ZAllocation};
+
+    fn tiny(scheme: Scheme) -> SystemConfig {
+        let mut cfg = SystemConfig::scaled(scheme);
+        cfg.oram.levels = 10;
+        cfg.oram.data_blocks = 1 << 11;
+        cfg.oram.zalloc = ZAllocation::uniform(10, 4);
+        cfg.oram.treetop = TreeTopMode::Dedicated { levels: 4 };
+        cfg.oram.plb_sets = 8;
+        cfg.oram.plb_ways = 2;
+        cfg.hierarchy = HierarchyConfig {
+            l1_sets: 16,
+            l1_assoc: 2,
+            llc_sets: 64,
+            llc_assoc: 4,
+        };
+        cfg.with_scheme(scheme)
+    }
+
+    #[test]
+    fn all_schemes_run_to_completion() {
+        for scheme in crate::ALL_SCHEMES {
+            let cfg = tiny(scheme);
+            let report = Simulation::run_bench(&cfg, Bench::Gcc, RunLimit::mem_ops(2_000));
+            assert_eq!(report.mem_ops, 2_000, "{scheme:?}");
+            assert!(report.cycles > 0, "{scheme:?}");
+            assert!(report.instructions > 2_000, "{scheme:?}");
+            assert!(report.ipc() > 0.0, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn heavier_workloads_take_longer() {
+        let cfg = tiny(Scheme::Baseline);
+        let light = Simulation::run_bench(&cfg, Bench::Xal, RunLimit::mem_ops(3_000));
+        let heavy = Simulation::run_bench(&cfg, Bench::Xz, RunLimit::mem_ops(3_000));
+        // Heavy misses more and therefore has more path traffic per op.
+        assert!(heavy.total_paths() > light.total_paths());
+    }
+
+    #[test]
+    fn timing_protection_issues_dummies() {
+        let cfg = tiny(Scheme::Baseline);
+        let report = Simulation::run_bench(&cfg, Bench::Gcc, RunLimit::mem_ops(2_000));
+        assert!(
+            report.slots.dummy_slots > 0,
+            "a light benchmark must have idle slots → dummies"
+        );
+        let mut no_tp = cfg.clone();
+        no_tp.timing_protection = false;
+        let r2 = Simulation::run_bench(&no_tp, Bench::Gcc, RunLimit::mem_ops(2_000));
+        assert_eq!(r2.slots.dummy_slots, 0);
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let cfg = tiny(Scheme::IrOram);
+        let a = Simulation::run_bench(&cfg, Bench::Mcf, RunLimit::mem_ops(1_500));
+        let b = Simulation::run_bench(&cfg, Bench::Mcf, RunLimit::mem_ops(1_500));
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.protocol, b.protocol);
+        assert_eq!(a.slots, b.slots);
+    }
+
+    #[test]
+    fn mpki_accounting() {
+        let cfg = tiny(Scheme::Baseline);
+        let r = Simulation::run_bench(&cfg, Bench::Lbm, RunLimit::mem_ops(4_000));
+        assert!(r.write_mpki() > r.read_mpki(), "lbm is write-dominated");
+        assert!(r.read_mpki() >= 0.0);
+    }
+
+    #[test]
+    fn irdwb_converts_some_dummies_on_writeheavy() {
+        let cfg = tiny(Scheme::IrDwb);
+        let r = Simulation::run_bench(&cfg, Bench::Gcc, RunLimit::mem_ops(4_000));
+        let d = r.dwb.expect("engine enabled");
+        assert!(
+            d.converted_slots > 0,
+            "gcc has dummies and dirty lines to convert"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Hashing primitives for the IR-ORAM reproduction.
+//!
+//! The paper's IR-Stash indexes its set-associative `S-Stash` "using MD5 of
+//! their addresses" (Section IV-C) to spread block addresses evenly across
+//! cache sets. This crate provides:
+//!
+//! * [`Md5`] — a from-scratch RFC 1321 MD5 implementation (no external crypto
+//!   crates), plus the convenience [`md5_u64`] used for set indexing.
+//! * [`mix64`] / [`mix32`] — fast avalanche mixers for hot-path hashing where
+//!   full MD5 would be wasteful in a simulator.
+//! * [`FeistelCipher`] — a small, invertible toy block cipher used by the
+//!   functional ORAM model to "encrypt" block payloads, so tests can assert
+//!   that data round-trips through the tree in non-cleartext form. It is a
+//!   *simulation stand-in*, not a secure cipher.
+//!
+//! # Examples
+//!
+//! ```
+//! use iroram_hash::{md5_hex, md5_u64, FeistelCipher};
+//!
+//! assert_eq!(md5_hex(b""), "d41d8cd98f00b204e9800998ecf8427e");
+//! let set_index = md5_u64(0xdead_beef) % 1024;
+//! assert!(set_index < 1024);
+//!
+//! let cipher = FeistelCipher::new(0x1234);
+//! let ct = cipher.encrypt(42);
+//! assert_ne!(ct, 42);
+//! assert_eq!(cipher.decrypt(ct), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod feistel;
+mod md5;
+mod mixers;
+
+pub use feistel::FeistelCipher;
+pub use md5::{md5, md5_hex, md5_u64, Md5};
+pub use mixers::{mix32, mix64};

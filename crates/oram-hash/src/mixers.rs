@@ -1,0 +1,71 @@
+//! Fast avalanche mixers for hot-path hashing.
+//!
+//! The simulators hash addresses millions of times per run (PLB indexing,
+//! DRAM address interleaving checks, trace synthesis). Full MD5 there would
+//! dominate runtime, so these finalizer-style mixers are used instead where
+//! cryptographic pedigree is irrelevant.
+
+/// Moremur/SplitMix-style 64-bit finalizer: a bijective avalanche mix.
+///
+/// # Examples
+///
+/// ```
+/// use iroram_hash::mix64;
+/// assert_ne!(mix64(1), mix64(2));
+/// ```
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// 32-bit variant (Murmur3 finalizer), also bijective.
+///
+/// # Examples
+///
+/// ```
+/// use iroram_hash::mix32;
+/// assert_ne!(mix32(0), mix32(1));
+/// ```
+#[inline]
+pub fn mix32(mut x: u32) -> u32 {
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x85EB_CA6B);
+    x ^= x >> 13;
+    x = x.wrapping_mul(0xC2B2_AE35);
+    x ^= x >> 16;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mix64_injective_on_sample() {
+        let outs: HashSet<u64> = (0..10_000u64).map(mix64).collect();
+        assert_eq!(outs.len(), 10_000);
+    }
+
+    #[test]
+    fn mix32_injective_on_sample() {
+        let outs: HashSet<u32> = (0..10_000u32).map(mix32).collect();
+        assert_eq!(outs.len(), 10_000);
+    }
+
+    #[test]
+    fn mixers_avalanche_low_bits() {
+        // Consecutive inputs should differ in roughly half the output bits.
+        let mut total = 0u32;
+        for i in 0..1000u64 {
+            total += (mix64(i) ^ mix64(i + 1)).count_ones();
+        }
+        let avg = total as f64 / 1000.0;
+        assert!((24.0..40.0).contains(&avg), "avg flipped bits {avg}");
+    }
+}

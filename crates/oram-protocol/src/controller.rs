@@ -1,0 +1,1174 @@
+//! The Path ORAM controller state machine.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use iroram_cache::CacheConfig;
+use iroram_hash::FeistelCipher;
+use iroram_sim_engine::SimRng;
+
+use crate::posmap::PlbStatus;
+use crate::treetop::{DedicatedTreeTop, IrStashTop, TreeTopStore};
+use crate::{
+    AddressSpace, BlockAddr, BlockKind, Leaf, OramTree, PathRecord, PathType, PosMapSystem,
+    ServedFrom, Stash, StoredBlock, TreeLayout, ZAllocation,
+};
+
+/// Which tree-top store (if any) the controller uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeTopMode {
+    /// No on-chip tree top: every path access touches all levels in memory.
+    None,
+    /// The Baseline's dedicated tree-top cache: top `levels` levels
+    /// on-chip, indexed only by tree position (invisible to the LLC).
+    Dedicated {
+        /// Cached top levels (the paper uses 10).
+        levels: usize,
+    },
+    /// IR-Stash: the double-indexed S-Stash caching the top `levels`
+    /// levels, LLC-addressable by block address.
+    IrStash {
+        /// Cached top levels.
+        levels: usize,
+        /// S-Stash sets.
+        sets: usize,
+        /// S-Stash ways (the paper chose 4-way set associative).
+        ways: usize,
+    },
+}
+
+impl TreeTopMode {
+    /// Number of on-chip top levels (0 for `None`).
+    pub fn cached_levels(&self) -> usize {
+        match *self {
+            TreeTopMode::None => 0,
+            TreeTopMode::Dedicated { levels } | TreeTopMode::IrStash { levels, .. } => levels,
+        }
+    }
+
+    /// An IR-Stash mode sized to hold the top `levels` of a `Z=4` tree in a
+    /// 4-way S-Stash with a small amount of slack.
+    pub fn ir_stash_sized(levels: usize) -> Self {
+        let slots = ((1usize << levels) - 1) * 4;
+        TreeTopMode::IrStash {
+            levels,
+            sets: (slots / 4).next_power_of_two(),
+            ways: 4,
+        }
+    }
+}
+
+/// When accessed blocks get remapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RemapPolicy {
+    /// Standard Path ORAM: remap at access time; the tree keeps a copy while
+    /// the LLC holds the line (dirty evictions issue a write access).
+    Immediate,
+    /// Delayed remapping (Nagarajan et al. \[23\], the paper's "LLC-D"):
+    /// the mapping is discarded at access time and the block leaves the
+    /// ORAM; it is re-inserted (with PosMap traffic) when the LLC evicts it
+    /// — clean *or* dirty.
+    Delayed,
+}
+
+/// Configuration of a [`PathOram`] instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OramConfig {
+    /// Tree levels `L` (root = level 0).
+    pub levels: usize,
+    /// Number of user data blocks protected (PosMap blocks are added on top
+    /// inside the merged tree).
+    pub data_blocks: u64,
+    /// Per-level bucket capacities.
+    pub zalloc: ZAllocation,
+    /// Tree-top store.
+    pub treetop: TreeTopMode,
+    /// Soft stash capacity (Table I: 200 entries).
+    pub stash_capacity: usize,
+    /// PLB geometry: sets.
+    pub plb_sets: usize,
+    /// PLB geometry: ways.
+    pub plb_ways: usize,
+    /// Remap policy.
+    pub remap: RemapPolicy,
+    /// Cap on background-eviction paths drained after one access.
+    pub max_bg_evicts_per_access: usize,
+    /// Store payloads encrypted in the tree (Feistel permutation).
+    pub encrypt_payloads: bool,
+    /// RNG seed; equal seeds give bit-identical protocol behaviour.
+    pub seed: u64,
+}
+
+impl OramConfig {
+    /// A tiny configuration for unit tests and doc examples: 8 levels,
+    /// 256 data blocks, top 3 levels in a dedicated cache.
+    pub fn tiny() -> Self {
+        OramConfig {
+            levels: 8,
+            data_blocks: 256,
+            zalloc: ZAllocation::uniform(8, 4),
+            treetop: TreeTopMode::Dedicated { levels: 3 },
+            stash_capacity: 64,
+            plb_sets: 4,
+            plb_ways: 2,
+            remap: RemapPolicy::Immediate,
+            max_bg_evicts_per_access: 8,
+            encrypt_payloads: true,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// The scaled default experiment configuration: a 17-level tree
+    /// protecting 2^18 data blocks (the paper's L=25 / 2^26-block setup
+    /// shrunk 256×, keeping the ~52% space utilization and the proportions
+    /// of memory-resident levels), top 7 levels cached.
+    pub fn scaled_default() -> Self {
+        let levels = 17;
+        OramConfig {
+            levels,
+            data_blocks: 1u64 << (levels + 1),
+            zalloc: ZAllocation::uniform(levels, 4),
+            treetop: TreeTopMode::Dedicated { levels: 7 },
+            stash_capacity: 200,
+            plb_sets: 16,
+            plb_ways: 4,
+            remap: RemapPolicy::Immediate,
+            max_bg_evicts_per_access: 8,
+            encrypt_payloads: false,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Total blocks (data + PosMap) stored in the merged tree.
+    pub fn total_blocks(&self) -> u64 {
+        AddressSpace::new(self.data_blocks).total_blocks()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description if the configuration is inconsistent
+    /// (allocation height mismatch, cached levels out of range, or a tree
+    /// too small for the block population).
+    pub fn validate(&self) {
+        assert!(self.levels >= 2, "tree needs at least two levels");
+        assert_eq!(
+            self.zalloc.levels(),
+            self.levels,
+            "allocation height must match tree height"
+        );
+        let cached = self.treetop.cached_levels();
+        assert!(cached < self.levels, "cannot cache every level on-chip");
+        let capacity = self.zalloc.total_slots() + self.stash_capacity as u64;
+        assert!(
+            self.total_blocks() <= capacity,
+            "{} blocks cannot fit {} slots",
+            self.total_blocks(),
+            capacity
+        );
+    }
+}
+
+/// Protocol-level statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolStats {
+    /// Logical accesses served via [`PathOram::run_access`].
+    pub accesses: u64,
+    /// Served directly from F-Stash (no path, no PosMap).
+    pub fstash_hits: u64,
+    /// Served from S-Stash by address (IR-Stash front door).
+    pub sstash_hits: u64,
+    /// Served from escrow (delayed-remap block held by the LLC).
+    pub escrow_hits: u64,
+    /// Served from the tree top after PosMap resolution (no memory path).
+    pub treetop_hits: u64,
+    /// `PT_p` paths for PosMap₁ blocks.
+    pub pos1_paths: u64,
+    /// `PT_p` paths for PosMap₂ blocks.
+    pub pos2_paths: u64,
+    /// `PT_d` paths.
+    pub data_paths: u64,
+    /// Background-eviction paths.
+    pub bg_evict_paths: u64,
+    /// Dummy (`PT_m`) paths issued for timing protection.
+    pub dummy_paths: u64,
+    /// Where requested blocks were found: one counter per tree level.
+    pub served_level: Vec<u64>,
+    /// Requested blocks found already in the stash.
+    pub served_stash: u64,
+    /// Blocks read from memory (path read phases).
+    pub blocks_from_memory: u64,
+    /// Blocks written to memory (path write phases).
+    pub blocks_to_memory: u64,
+    /// Write-phase blocks bounced off full S-Stash sets.
+    pub sstash_rejects: u64,
+    /// Delayed-remap re-insertions.
+    pub delayed_inserts: u64,
+}
+
+impl ProtocolStats {
+    /// All path accesses of any type.
+    pub fn total_paths(&self) -> u64 {
+        self.pos1_paths + self.pos2_paths + self.data_paths + self.bg_evict_paths
+            + self.dummy_paths
+    }
+
+    /// PosMap (`PT_p`) paths.
+    pub fn posmap_paths(&self) -> u64 {
+        self.pos1_paths + self.pos2_paths
+    }
+}
+
+/// The outcome of one logical access (or sub-operation).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessRecord {
+    /// Path accesses performed, in order.
+    pub paths: Vec<PathRecord>,
+    /// Where the requested block was found.
+    pub served: ServedFrom,
+    /// The block's payload value (before any write of this access).
+    pub payload: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RemapAction {
+    Remap,
+    UnmapEscrow,
+}
+
+/// The functional Path ORAM controller.
+///
+/// See the [crate docs](crate) for the role split between this state machine
+/// and the timed simulator. All behaviour is deterministic given the
+/// configuration seed.
+///
+/// # Examples
+///
+/// ```
+/// use iroram_protocol::{OramConfig, PathOram};
+/// let mut oram = PathOram::new(OramConfig::tiny());
+/// oram.write(7, 1234);
+/// let rec = oram.run_access(iroram_protocol::BlockAddr(7), None);
+/// assert_eq!(rec.payload, 1234);
+/// ```
+pub struct PathOram {
+    cfg: OramConfig,
+    layout: TreeLayout,
+    tree: OramTree,
+    stash: Stash,
+    posmap: PosMapSystem,
+    top: Option<Box<dyn TreeTopStore + Send>>,
+    escrow: HashMap<u64, u64>,
+    cipher: FeistelCipher,
+    rng: SimRng,
+    stats: ProtocolStats,
+}
+
+impl std::fmt::Debug for PathOram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PathOram")
+            .field("levels", &self.cfg.levels)
+            .field("data_blocks", &self.cfg.data_blocks)
+            .field("stash_len", &self.stash.len())
+            .field("accesses", &self.stats.accesses)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PathOram {
+    /// Builds the ORAM and initializes it the way the paper does: every
+    /// block (data and PosMap) is "accessed once in a random order",
+    /// remapped, and written into the tree, so level-utilization snapshots
+    /// start from the paper's "0B" state. Statistics are zeroed afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`OramConfig::validate`]).
+    pub fn new(cfg: OramConfig) -> Self {
+        cfg.validate();
+        let layout = TreeLayout::new(cfg.zalloc.clone());
+        let mut rng = SimRng::seed_from(cfg.seed);
+        let space = AddressSpace::new(cfg.data_blocks);
+        let posmap = PosMapSystem::new(
+            space,
+            layout.num_leaves(),
+            CacheConfig::new(cfg.plb_sets, cfg.plb_ways),
+            &mut rng,
+        );
+        let top: Option<Box<dyn TreeTopStore + Send>> = match cfg.treetop {
+            TreeTopMode::None => None,
+            TreeTopMode::Dedicated { levels } => {
+                Some(Box::new(DedicatedTreeTop::new(&layout, levels)))
+            }
+            TreeTopMode::IrStash { levels, sets, ways } => {
+                Some(Box::new(IrStashTop::new(&layout, levels, sets, ways)))
+            }
+        };
+        let mut oram = PathOram {
+            cipher: FeistelCipher::new(cfg.seed ^ 0x0BAD_5EED),
+            tree: OramTree::new(layout.clone()),
+            stash: Stash::new(cfg.stash_capacity),
+            posmap,
+            top,
+            escrow: HashMap::new(),
+            rng,
+            stats: ProtocolStats {
+                served_level: vec![0; cfg.levels],
+                ..ProtocolStats::default()
+            },
+            layout,
+            cfg,
+        };
+        oram.initialize();
+        oram
+    }
+
+    /// Paper-style initialization: place every block via one path access in
+    /// a random order.
+    fn initialize(&mut self) {
+        let total = self.posmap.space().total_blocks();
+        let mut order: Vec<u64> = (0..total).collect();
+        self.rng.shuffle(&mut order);
+        for addr in order {
+            let leaf = self
+                .posmap
+                .leaf_of(BlockAddr(addr))
+                .expect("all blocks mapped at init");
+            self.stash.insert(StoredBlock {
+                addr: BlockAddr(addr),
+                leaf,
+                payload: self.encrypt_at_rest(0),
+            });
+            self.path_access(leaf, None, PathType::BgEvict, RemapAction::Remap, None);
+            let mut guard = 0;
+            while self.stash.over_capacity() && guard < 32 {
+                let l = self.random_leaf();
+                self.path_access(l, None, PathType::BgEvict, RemapAction::Remap, None);
+                guard += 1;
+            }
+        }
+        self.reset_stats();
+    }
+
+    // Payloads are stored in the clear inside the stash/top (on-chip); the
+    // value inserted at init is plaintext 0. This helper exists so the init
+    // payload matches whatever `read` will later report for untouched
+    // blocks.
+    fn encrypt_at_rest(&self, v: u64) -> u64 {
+        v
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &OramConfig {
+        &self.cfg
+    }
+
+    /// The tree layout.
+    pub fn layout(&self) -> &TreeLayout {
+        &self.layout
+    }
+
+    /// Protocol statistics since the last reset.
+    pub fn stats(&self) -> &ProtocolStats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics, including the PLB hit/miss counters (keeps
+    /// protocol state).
+    pub fn reset_stats(&mut self) {
+        self.stats = ProtocolStats {
+            served_level: vec![0; self.cfg.levels],
+            ..ProtocolStats::default()
+        };
+        self.posmap.plb_hits = 0;
+        self.posmap.plb_misses = 0;
+    }
+
+    /// Current stash occupancy.
+    pub fn stash_len(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// Stash high-water mark.
+    pub fn stash_peak(&self) -> usize {
+        self.stash.max_occupancy()
+    }
+
+    /// The PLB hit/miss counters `(hits, misses)`.
+    pub fn plb_counters(&self) -> (u64, u64) {
+        (self.posmap.plb_hits, self.posmap.plb_misses)
+    }
+
+    /// A uniformly random leaf (for dummy paths).
+    pub fn random_leaf(&mut self) -> Leaf {
+        Leaf(self.rng.next_below(self.layout.num_leaves()))
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience API (functional experiments, examples, tests)
+    // ------------------------------------------------------------------
+
+    /// Reads data block `addr`, driving the whole protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a data block address.
+    pub fn read(&mut self, addr: u64) -> u64 {
+        self.run_access(BlockAddr(addr), None).payload
+    }
+
+    /// Writes `payload` to data block `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a data block address.
+    pub fn write(&mut self, addr: u64, payload: u64) {
+        self.run_access(BlockAddr(addr), Some(payload));
+    }
+
+    /// Performs one complete logical access (front probe, PosMap
+    /// resolution, data path, background eviction) immediately, returning
+    /// everything the timed simulator would have spread over path slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a data block address.
+    pub fn run_access(&mut self, addr: BlockAddr, write: Option<u64>) -> AccessRecord {
+        assert_eq!(
+            self.posmap.space().kind_of(addr),
+            BlockKind::Data,
+            "run_access takes data addresses"
+        );
+        self.stats.accesses += 1;
+        if let Some((served, payload)) = self.front_access(addr, write) {
+            return AccessRecord {
+                paths: Vec::new(),
+                served,
+                payload,
+            };
+        }
+        let mut paths = Vec::new();
+        for pm in self.posmap_resolve(addr) {
+            let rec = self.fetch_posmap_block(pm);
+            paths.extend(rec.paths);
+        }
+        let data = self.data_access(addr, write);
+        paths.extend(data.paths.iter().copied());
+        paths.extend(self.drain_bg());
+        AccessRecord {
+            paths,
+            served: data.served,
+            payload: data.payload,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stepwise API (timed simulator)
+    // ------------------------------------------------------------------
+
+    /// Checks the on-chip front stores — F-Stash always; the escrow under
+    /// delayed remapping; S-Stash (by block address) under IR-Stash. A hit
+    /// serves the access with **no** path access, PosMap traffic, or remap.
+    pub fn front_access(
+        &mut self,
+        addr: BlockAddr,
+        write: Option<u64>,
+    ) -> Option<(ServedFrom, u64)> {
+        if let Some(b) = self.stash.get_mut(addr) {
+            let payload = b.payload;
+            if let Some(v) = write {
+                b.payload = v;
+            }
+            self.stats.fstash_hits += 1;
+            return Some((ServedFrom::FStash, payload));
+        }
+        if let Some(p) = self.escrow.get_mut(&addr.0) {
+            let payload = *p;
+            if let Some(v) = write {
+                *p = v;
+            }
+            self.stats.escrow_hits += 1;
+            return Some((ServedFrom::Escrow, payload));
+        }
+        if matches!(self.cfg.treetop, TreeTopMode::IrStash { .. }) {
+            let top = self.top.as_mut().expect("IrStash mode has a top store");
+            if let Some(b) = top.front_get_mut(addr) {
+                let payload = b.payload;
+                if let Some(v) = write {
+                    b.payload = v;
+                }
+                self.stats.sstash_hits += 1;
+                return Some((ServedFrom::SStash, payload));
+            }
+        }
+        None
+    }
+
+    /// Non-perturbing PLB status for `addr` (IR-DWB's `Stage` computation).
+    pub fn posmap_status(&self, addr: BlockAddr) -> PlbStatus {
+        self.posmap.plb_status(addr)
+    }
+
+    /// Performs the PLB lookups for `addr` and returns the PosMap blocks
+    /// that must be fetched (outermost first).
+    pub fn posmap_resolve(&mut self, addr: BlockAddr) -> Vec<BlockAddr> {
+        self.posmap.resolve(addr)
+    }
+
+    /// Fetches one PosMap block through the ORAM (a `PT_p` path — unless it
+    /// is found on-chip) and fills the PLB with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pm_addr` is a data address.
+    pub fn fetch_posmap_block(&mut self, pm_addr: BlockAddr) -> AccessRecord {
+        let ptype = match self.posmap.space().kind_of(pm_addr) {
+            BlockKind::PosMap1 => PathType::Pos1,
+            BlockKind::PosMap2 => PathType::Pos2,
+            BlockKind::Data => panic!("fetch_posmap_block takes PosMap addresses"),
+        };
+        let rec = self.block_access(pm_addr, ptype, RemapAction::Remap, None);
+        self.posmap.plb_fill(pm_addr);
+        rec
+    }
+
+    /// Accesses the data block itself. Requires translation to be complete
+    /// (PosMap resolved). May return zero paths when the block is found in
+    /// the tree-top store or stash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is unmapped (escrowed blocks are served by
+    /// [`PathOram::front_access`]).
+    pub fn data_access(&mut self, addr: BlockAddr, write: Option<u64>) -> AccessRecord {
+        let action = match self.cfg.remap {
+            RemapPolicy::Immediate => RemapAction::Remap,
+            RemapPolicy::Delayed => RemapAction::UnmapEscrow,
+        };
+        self.block_access(addr, PathType::Data, action, write)
+    }
+
+    /// Whether the stash is over capacity (background eviction required).
+    pub fn bg_evict_pending(&self) -> bool {
+        self.stash.over_capacity()
+    }
+
+    /// Issues one background-eviction path to a random leaf.
+    pub fn bg_evict_once(&mut self) -> PathRecord {
+        let leaf = self.random_leaf();
+        self.path_access(leaf, None, PathType::BgEvict, RemapAction::Remap, None)
+            .0
+    }
+
+    /// Issues one dummy path (timing protection). Like every real path it
+    /// reads and rewrites a random path, so it also drains the stash — the
+    /// effect the paper notes when comparing background-eviction counts with
+    /// and without timing protection (Section VI-A).
+    pub fn dummy_path(&mut self) -> PathRecord {
+        let leaf = self.random_leaf();
+        self.path_access(leaf, None, PathType::Dummy, RemapAction::Remap, None)
+            .0
+    }
+
+    /// Drains background evictions (up to the configured per-access cap).
+    pub fn drain_bg(&mut self) -> Vec<PathRecord> {
+        let mut out = Vec::new();
+        while self.bg_evict_pending() && out.len() < self.cfg.max_bg_evicts_per_access {
+            out.push(self.bg_evict_once());
+        }
+        out
+    }
+
+    /// Re-inserts an escrowed block into the ORAM (delayed-remap LLC
+    /// eviction). The caller must have resolved the PosMap first (the
+    /// paper's "it demands PosMap accesses at write-back time"). No path
+    /// access happens here — the block enters the stash with a fresh leaf
+    /// and sinks on later paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is not delayed or the block is not escrowed.
+    pub fn delayed_insert_block(&mut self, addr: BlockAddr) {
+        assert_eq!(
+            self.cfg.remap,
+            RemapPolicy::Delayed,
+            "delayed_insert_block needs the delayed policy"
+        );
+        let payload = self
+            .escrow
+            .remove(&addr.0)
+            .expect("block must be escrowed");
+        let leaf = self.posmap.remap(addr, &mut self.rng);
+        self.stash.insert(StoredBlock {
+            addr,
+            leaf,
+            payload,
+        });
+        self.stats.delayed_inserts += 1;
+    }
+
+    /// Full delayed write-back convenience (PosMap resolution + insertion),
+    /// returning the PosMap paths it generated.
+    pub fn delayed_writeback(&mut self, addr: BlockAddr) -> AccessRecord {
+        let mut paths = Vec::new();
+        for pm in self.posmap_resolve(addr) {
+            paths.extend(self.fetch_posmap_block(pm).paths);
+        }
+        self.delayed_insert_block(addr);
+        paths.extend(self.drain_bg());
+        AccessRecord {
+            paths,
+            served: ServedFrom::Escrow,
+            payload: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Per-level `(used, capacity)` merging the tree-top store with the
+    /// in-memory tree (the paper's space-utilization metric, Figs. 3/13).
+    pub fn utilization_per_level(&self) -> Vec<(u64, u64)> {
+        let mut occ = self.tree.occupancy();
+        if let Some(top) = &self.top {
+            for (level, pair) in top.occupancy().into_iter().enumerate() {
+                occ[level] = pair;
+            }
+        }
+        occ
+    }
+
+    /// Direct access to the tree (tests, invariants).
+    pub fn tree(&self) -> &OramTree {
+        &self.tree
+    }
+
+    /// Direct access to the stash.
+    pub fn stash(&self) -> &Stash {
+        &self.stash
+    }
+
+    /// The position-map subsystem.
+    pub fn posmap(&self) -> &PosMapSystem {
+        &self.posmap
+    }
+
+    /// The tree-top store, if configured.
+    pub fn treetop_store(&self) -> Option<&(dyn TreeTopStore + Send)> {
+        self.top.as_deref()
+    }
+
+    /// Addresses currently escrowed (delayed remap).
+    pub fn escrowed(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.escrow.keys().map(|&a| BlockAddr(a))
+    }
+
+    /// Whether `addr` is currently escrowed (held by the LLC under the
+    /// delayed-remap policy).
+    pub fn is_escrowed(&self, addr: BlockAddr) -> bool {
+        self.escrow.contains_key(&addr.0)
+    }
+
+    /// Decrypts an in-tree payload (for tests and invariant checks that
+    /// look at raw tree contents).
+    pub fn decrypt_payload(&self, v: u64) -> u64 {
+        if self.cfg.encrypt_payloads {
+            self.cipher.decrypt(v)
+        } else {
+            v
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// One block-targeted ORAM access: stash check, tree-top probe, then a
+    /// full path access.
+    fn block_access(
+        &mut self,
+        addr: BlockAddr,
+        ptype: PathType,
+        action: RemapAction,
+        write: Option<u64>,
+    ) -> AccessRecord {
+        // The ORAM controller always searches the stash first.
+        if self.stash.contains(addr) {
+            return self.serve_from_stash(addr, action, write);
+        }
+        // IR-Stash: the S-Stash is indexed by block address, so *any* block
+        // — including PosMap₁/₂ blocks, whose reuse is 16× denser than data
+        // — can be found on-chip before any translation. This is the heart
+        // of the PT_p reduction: a PosMap block served here costs no path
+        // and needs no PosMap₂ lookup of its own.
+        if matches!(self.cfg.treetop, TreeTopMode::IrStash { .. }) {
+            let probed = self
+                .top
+                .as_ref()
+                .expect("IrStash mode has a top store")
+                .front_probe(addr);
+            if let Some(level) = probed {
+                let b = self
+                    .top
+                    .as_mut()
+                    .expect("checked")
+                    .front_get_mut(addr)
+                    .expect("probe found it");
+                let payload = b.payload;
+                if let Some(v) = write {
+                    b.payload = v;
+                }
+                self.stats.sstash_hits += 1;
+                self.stats.served_level[level] += 1;
+                return AccessRecord {
+                    paths: Vec::new(),
+                    served: ServedFrom::SStash,
+                    payload,
+                };
+            }
+        }
+        let leaf = self
+            .posmap
+            .leaf_of(addr)
+            .expect("escrowed blocks are served by front_access");
+        // Tree-top probe: with top levels on-chip, the controller checks
+        // them before generating any memory traffic ("we will not start
+        // off-chip memory accesses until we know if the requested block is
+        // in the on-chip sub-stashes", Section IV-E). A hit needs no path
+        // access and no remap.
+        if self.top.is_some() {
+            if let Some((level, payload)) = self.top_path_probe(leaf, addr, write) {
+                self.stats.treetop_hits += 1;
+                self.stats.served_level[level] += 1;
+                return AccessRecord {
+                    paths: Vec::new(),
+                    served: ServedFrom::TreeTop { level },
+                    payload,
+                };
+            }
+        }
+        let (rec, served, payload) = self.path_access(leaf, Some(addr), ptype, action, write);
+        AccessRecord {
+            paths: vec![rec],
+            served: served.expect("targeted path access reports a source"),
+            payload,
+        }
+    }
+
+    fn serve_from_stash(
+        &mut self,
+        addr: BlockAddr,
+        action: RemapAction,
+        write: Option<u64>,
+    ) -> AccessRecord {
+        self.stats.served_stash += 1;
+        self.stats.fstash_hits += 1;
+        let payload = match action {
+            RemapAction::Remap => {
+                let b = self.stash.get_mut(addr).expect("caller checked residence");
+                let payload = b.payload;
+                if let Some(v) = write {
+                    b.payload = v;
+                }
+                payload
+            }
+            RemapAction::UnmapEscrow => {
+                let b = self.stash.take(addr).expect("caller checked residence");
+                self.posmap.unmap(addr);
+                self.escrow.insert(addr.0, write.unwrap_or(b.payload));
+                b.payload
+            }
+        };
+        AccessRecord {
+            paths: Vec::new(),
+            served: ServedFrom::FStash,
+            payload,
+        }
+    }
+
+    /// Probes the on-chip top portion of the path to `leaf` for `addr`;
+    /// serves it in place on a hit (no remap, per the dedicated-cache
+    /// design \[32\]).
+    fn top_path_probe(
+        &mut self,
+        leaf: Leaf,
+        addr: BlockAddr,
+        write: Option<u64>,
+    ) -> Option<(usize, u64)> {
+        let cached = self.top.as_ref().map_or(0, |t| t.cached_levels());
+        for level in 0..cached {
+            let bucket = self.layout.bucket_on_path(leaf, level);
+            let top = self.top.as_mut().expect("probed only when present");
+            if !top.peek_bucket(level, bucket).iter().any(|b| b.addr == addr) {
+                continue;
+            }
+            let mut blocks = top.take_bucket(level, bucket);
+            let mut payload = 0;
+            for b in &mut blocks {
+                if b.addr == addr {
+                    payload = b.payload;
+                    if let Some(v) = write {
+                        b.payload = v;
+                    }
+                }
+            }
+            let rejected = top.write_bucket(level, bucket, blocks);
+            debug_assert!(
+                rejected.is_empty(),
+                "re-writing a bucket's own contents must fit"
+            );
+            for r in rejected {
+                self.stash.insert(r);
+            }
+            return Some((level, payload));
+        }
+        None
+    }
+
+    /// The full read–serve–remap–write path access.
+    ///
+    /// Returns the path record plus, for targeted accesses, where the block
+    /// was found and its (pre-write) payload.
+    fn path_access(
+        &mut self,
+        leaf: Leaf,
+        target: Option<BlockAddr>,
+        ptype: PathType,
+        action: RemapAction,
+        write: Option<u64>,
+    ) -> (PathRecord, Option<ServedFrom>, u64) {
+        match ptype {
+            PathType::Pos1 => self.stats.pos1_paths += 1,
+            PathType::Pos2 => self.stats.pos2_paths += 1,
+            PathType::Data => self.stats.data_paths += 1,
+            PathType::BgEvict => self.stats.bg_evict_paths += 1,
+            PathType::Dummy => self.stats.dummy_paths += 1,
+            PathType::DwbConverted => {}
+        }
+        let levels = self.cfg.levels;
+        let cached = self.top.as_ref().map_or(0, |t| t.cached_levels());
+
+        // --- Read phase: pull the whole path into the stash. ---
+        let mut found_level: Option<usize> = None;
+        for level in 0..levels {
+            let bucket = self.layout.bucket_on_path(leaf, level);
+            let blocks = if level < cached {
+                self.top
+                    .as_mut()
+                    .expect("cached levels imply a top store")
+                    .take_bucket(level, bucket)
+            } else {
+                let mut blocks = self.tree.take_bucket(level, bucket);
+                if self.cfg.encrypt_payloads {
+                    for b in &mut blocks {
+                        b.payload = self.cipher.decrypt(b.payload);
+                    }
+                }
+                blocks
+            };
+            for b in blocks {
+                if Some(b.addr) == target {
+                    found_level = Some(level);
+                }
+                self.stash.insert(b);
+            }
+        }
+        self.stats.blocks_from_memory += self.layout.path_len_memory(cached);
+
+        // --- Serve + remap phase (before the write phase, so payload
+        //     updates and unmapping are reflected in what gets written). ---
+        let mut served = None;
+        let mut payload_out = 0;
+        if let Some(addr) = target {
+            served = Some(match found_level {
+                Some(level) => {
+                    self.stats.served_level[level] += 1;
+                    if level < cached {
+                        ServedFrom::TreeTop { level }
+                    } else {
+                        ServedFrom::Tree { level }
+                    }
+                }
+                None => {
+                    // Pre-existing stash resident (raced in via an earlier
+                    // path): legal, counts as a stash serve.
+                    self.stats.served_stash += 1;
+                    ServedFrom::FStash
+                }
+            });
+            match action {
+                RemapAction::Remap => {
+                    let new_leaf = self.posmap.remap(addr, &mut self.rng);
+                    let b = self
+                        .stash
+                        .get_mut(addr)
+                        .expect("target must be resident after the read phase");
+                    payload_out = b.payload;
+                    if let Some(v) = write {
+                        b.payload = v;
+                    }
+                    b.leaf = new_leaf;
+                }
+                RemapAction::UnmapEscrow => {
+                    let b = self
+                        .stash
+                        .take(addr)
+                        .expect("target must be resident after the read phase");
+                    self.posmap.unmap(addr);
+                    payload_out = b.payload;
+                    self.escrow.insert(addr.0, write.unwrap_or(b.payload));
+                }
+            }
+        }
+
+        // --- Write phase: push stash blocks as deep as possible. ---
+        let top_ref = self.top.as_deref();
+        let plan = self
+            .stash
+            .plan_writeback(&self.layout, leaf, 0, |level, b| {
+                if level < cached {
+                    // Bucket identity is irrelevant to both stores' accept
+                    // check (S-Stash keys on the block address).
+                    top_ref
+                        .expect("cached levels imply a top store")
+                        .can_accept(level, 0, b)
+                } else {
+                    true
+                }
+            });
+        for (level, mut blocks) in plan.into_iter().enumerate() {
+            let bucket = self.layout.bucket_on_path(leaf, level);
+            if level < cached {
+                let rejected = self
+                    .top
+                    .as_mut()
+                    .expect("cached levels imply a top store")
+                    .write_bucket(level, bucket, blocks);
+                self.stats.sstash_rejects += rejected.len() as u64;
+                for r in rejected {
+                    self.stash.insert(r);
+                }
+            } else {
+                if self.cfg.encrypt_payloads {
+                    for b in &mut blocks {
+                        b.payload = self.cipher.encrypt(b.payload);
+                    }
+                }
+                self.tree.write_bucket(level, bucket, blocks);
+            }
+        }
+        self.stats.blocks_to_memory += self.layout.path_len_memory(cached);
+
+        (PathRecord { leaf, ptype }, served, payload_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_with(treetop: TreeTopMode, remap: RemapPolicy) -> PathOram {
+        let cfg = OramConfig {
+            treetop,
+            remap,
+            ..OramConfig::tiny()
+        };
+        PathOram::new(cfg)
+    }
+
+    #[test]
+    fn read_your_writes_all_modes() {
+        for treetop in [
+            TreeTopMode::None,
+            TreeTopMode::Dedicated { levels: 3 },
+            TreeTopMode::IrStash {
+                levels: 3,
+                sets: 8,
+                ways: 4,
+            },
+        ] {
+            for remap in [RemapPolicy::Immediate, RemapPolicy::Delayed] {
+                let mut oram = tiny_with(treetop, remap);
+                for a in 0..64u64 {
+                    oram.write(a, a * 7 + 1);
+                }
+                for a in 0..64u64 {
+                    assert_eq!(oram.read(a), a * 7 + 1, "{treetop:?} {remap:?} addr {a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn untouched_blocks_read_zero() {
+        let mut oram = PathOram::new(OramConfig::tiny());
+        assert_eq!(oram.read(42), 0);
+    }
+
+    #[test]
+    fn accesses_generate_paths_and_stats() {
+        let mut oram = PathOram::new(OramConfig::tiny());
+        let mut total_paths = 0usize;
+        for a in 0..128u64 {
+            let rec = oram.run_access(BlockAddr(a % 256), None);
+            total_paths += rec.paths.len();
+        }
+        assert!(total_paths > 0, "cold accesses must generate path traffic");
+        let s = oram.stats();
+        assert_eq!(s.accesses, 128);
+        assert_eq!(
+            s.total_paths() as usize, total_paths,
+            "stats must agree with returned records"
+        );
+    }
+
+    #[test]
+    fn posmap_misses_cost_extra_paths() {
+        let mut oram = PathOram::new(OramConfig::tiny());
+        // First touch of a cold region: PLB cold → Pos2+Pos1+Data possible.
+        let rec = oram.run_access(BlockAddr(0), None);
+        let n_cold = rec.paths.len();
+        // Immediately touching a sibling under the same PosMap1 block can
+        // only need the data path (PLB now warm), unless served on-chip.
+        let rec2 = oram.run_access(BlockAddr(1), None);
+        assert!(rec2.paths.len() <= 1 + oram.config().max_bg_evicts_per_access);
+        assert!(n_cold >= rec2.paths.len());
+    }
+
+    #[test]
+    fn dummy_and_bg_paths_have_types() {
+        let mut oram = PathOram::new(OramConfig::tiny());
+        let d = oram.dummy_path();
+        assert_eq!(d.ptype, PathType::Dummy);
+        let b = oram.bg_evict_once();
+        assert_eq!(b.ptype, PathType::BgEvict);
+        assert_eq!(oram.stats().dummy_paths, 1);
+        assert_eq!(oram.stats().bg_evict_paths, 1);
+    }
+
+    #[test]
+    fn delayed_policy_escrows_and_reinserts() {
+        let mut oram = tiny_with(TreeTopMode::Dedicated { levels: 3 }, RemapPolicy::Delayed);
+        oram.write(5, 99);
+        // After the access the block is escrowed (unmapped).
+        assert!(oram.escrowed().any(|a| a == BlockAddr(5)));
+        assert!(!oram.posmap().is_mapped(BlockAddr(5)));
+        // A re-access hits the escrow with no paths.
+        let rec = oram.run_access(BlockAddr(5), None);
+        assert_eq!(rec.served, ServedFrom::Escrow);
+        assert_eq!(rec.payload, 99);
+        assert!(rec.paths.is_empty());
+        // LLC evicts it: write-back re-inserts with a fresh mapping.
+        oram.delayed_writeback(BlockAddr(5));
+        assert!(oram.posmap().is_mapped(BlockAddr(5)));
+        assert!(!oram.escrowed().any(|a| a == BlockAddr(5)));
+        assert_eq!(oram.read(5), 99);
+    }
+
+    #[test]
+    fn irstash_front_door_serves_without_paths() {
+        let mut oram = tiny_with(
+            TreeTopMode::IrStash {
+                levels: 3,
+                sets: 16,
+                ways: 4,
+            },
+            RemapPolicy::Immediate,
+        );
+        // Touch a block repeatedly: once it settles in S-Stash or F-Stash,
+        // accesses stop generating paths.
+        let mut free_hits = 0;
+        for _ in 0..20 {
+            let rec = oram.run_access(BlockAddr(3), None);
+            if rec.paths.is_empty() {
+                free_hits += 1;
+            }
+        }
+        assert!(free_hits > 10, "hot block should serve on-chip ({free_hits})");
+        let s = oram.stats();
+        assert!(s.fstash_hits + s.sstash_hits + s.treetop_hits > 0);
+    }
+
+    #[test]
+    fn utilization_snapshot_counts_all_blocks() {
+        let oram = PathOram::new(OramConfig::tiny());
+        let occ = oram.utilization_per_level();
+        let placed: u64 = occ.iter().map(|&(u, _)| u).sum();
+        let total = oram.config().total_blocks();
+        let in_stash = oram.stash_len() as u64;
+        assert_eq!(placed + in_stash, total, "every block accounted for");
+    }
+
+    #[test]
+    fn stats_reset_keeps_state() {
+        let mut oram = PathOram::new(OramConfig::tiny());
+        oram.write(9, 1);
+        oram.reset_stats();
+        assert_eq!(oram.stats().accesses, 0);
+        assert_eq!(oram.read(9), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "data addresses")]
+    fn run_access_rejects_posmap_addresses() {
+        let mut oram = PathOram::new(OramConfig::tiny());
+        let pm = oram.posmap().space().pm1_block_of(BlockAddr(0));
+        oram.run_access(pm, None);
+    }
+
+    #[test]
+    fn encrypted_payloads_differ_at_rest() {
+        let cfg = OramConfig {
+            encrypt_payloads: true,
+            ..OramConfig::tiny()
+        };
+        let mut oram = PathOram::new(cfg);
+        oram.write(1, 0x1234_5678);
+        // Drain the block out of the stash into the tree.
+        for _ in 0..50 {
+            oram.dummy_path();
+        }
+        // Find it in the tree; the stored payload must be ciphertext.
+        let stored = oram
+            .tree()
+            .iter_blocks()
+            .find(|(_, _, b)| b.addr == BlockAddr(1));
+        if let Some((_, _, b)) = stored {
+            assert_ne!(b.payload, 0x1234_5678, "payload must not be plaintext");
+            assert_eq!(oram.decrypt_payload(b.payload), 0x1234_5678);
+        }
+        // Regardless of where it ended up, it reads back correctly.
+        assert_eq!(oram.read(1), 0x1234_5678);
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let run = || {
+            let mut oram = PathOram::new(OramConfig::tiny());
+            let mut sig = 0u64;
+            for a in 0..64u64 {
+                let rec = oram.run_access(BlockAddr(a * 3 % 256), Some(a));
+                sig = sig
+                    .wrapping_mul(31)
+                    .wrapping_add(rec.paths.len() as u64)
+                    .wrapping_add(rec.payload);
+            }
+            (sig, oram.stats().clone())
+        };
+        let (s1, st1) = run();
+        let (s2, st2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(st1, st2);
+    }
+
+    #[test]
+    fn validate_catches_overfull_tree() {
+        let mut cfg = OramConfig::tiny();
+        cfg.data_blocks = 1 << 12; // far beyond an 8-level tree's 1020 slots
+        let result = std::panic::catch_unwind(|| cfg.validate());
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! The fully-associative stash (the paper's F-Stash).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::{BlockAddr, Leaf, StoredBlock, TreeLayout};
+
+/// The small fully-associative on-chip buffer holding in-flight blocks.
+///
+/// Path ORAM temporarily parks blocks here between the read and write
+/// phases, and blocks that cannot be pushed into the tree accumulate here
+/// until background eviction drains them (Ren et al. \[25\]). Capacity is a
+/// *soft* threshold: occupancy may exceed it transiently (the protocol then
+/// schedules background-eviction paths), mirroring how the paper converts
+/// stash overflow from a correctness failure into a performance cost.
+///
+/// # Examples
+///
+/// ```
+/// use iroram_protocol::{Stash, StoredBlock, BlockAddr, Leaf};
+/// let mut s = Stash::new(200);
+/// s.insert(StoredBlock { addr: BlockAddr(1), leaf: Leaf(0), payload: 9 });
+/// assert!(s.contains(BlockAddr(1)));
+/// assert_eq!(s.take(BlockAddr(1)).unwrap().payload, 9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Stash {
+    blocks: HashMap<u64, StoredBlock>,
+    capacity: usize,
+    max_occupancy: usize,
+}
+
+impl Stash {
+    /// Creates an empty stash with soft capacity `capacity` (the paper uses
+    /// 200 entries, Table I).
+    pub fn new(capacity: usize) -> Self {
+        Stash {
+            blocks: HashMap::new(),
+            capacity,
+            max_occupancy: 0,
+        }
+    }
+
+    /// The soft capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the stash is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The high-water mark of occupancy over the stash's lifetime.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// Whether occupancy exceeds the soft capacity (background eviction
+    /// should run).
+    pub fn over_capacity(&self) -> bool {
+        self.blocks.len() > self.capacity
+    }
+
+    /// Inserts a block (replacing any stale copy of the same address).
+    pub fn insert(&mut self, block: StoredBlock) {
+        self.blocks.insert(block.addr.0, block);
+        self.max_occupancy = self.max_occupancy.max(self.blocks.len());
+    }
+
+    /// Whether a block with `addr` is resident.
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.blocks.contains_key(&addr.0)
+    }
+
+    /// Immutable view of a resident block.
+    pub fn get(&self, addr: BlockAddr) -> Option<&StoredBlock> {
+        self.blocks.get(&addr.0)
+    }
+
+    /// Mutable view of a resident block (for payload updates and remaps).
+    pub fn get_mut(&mut self, addr: BlockAddr) -> Option<&mut StoredBlock> {
+        self.blocks.get_mut(&addr.0)
+    }
+
+    /// Removes and returns the block with `addr`.
+    pub fn take(&mut self, addr: BlockAddr) -> Option<StoredBlock> {
+        self.blocks.remove(&addr.0)
+    }
+
+    /// Iterates over resident blocks in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredBlock> {
+        self.blocks.values()
+    }
+
+    /// Plans the write-back of a path to `leaf`: selects, for each level in
+    /// `[top_level, L)`, up to `Z_level` stash blocks that may legally live
+    /// in that level's bucket on this path, **removing them from the stash**.
+    ///
+    /// Returns one `Vec<StoredBlock>` per level (index 0 of the result is
+    /// `top_level`). Blocks are pushed as deep as possible (the Path ORAM
+    /// eviction rule); the greedy deepest-first order is optimal for
+    /// maximizing placed blocks. `exclude` (the just-requested block under
+    /// the immediate-remap policy, which returns to the program) is never
+    /// selected.
+    ///
+    /// `cap_override` lets the caller shrink a level's usable capacity (used
+    /// by IR-Stash when an S-Stash set is full: those blocks are "skipped
+    /// this round", paper Section IV-C); a `None` entry means use
+    /// `layout.z_of(level)`.
+    pub fn plan_writeback(
+        &mut self,
+        layout: &TreeLayout,
+        leaf: Leaf,
+        top_level: usize,
+        mut may_place: impl FnMut(usize, &StoredBlock) -> bool,
+    ) -> Vec<Vec<StoredBlock>> {
+        let levels = layout.levels();
+        // Candidate depths: deepest level each block may occupy on this path.
+        let mut cands: Vec<(usize, u64)> = self
+            .blocks
+            .values()
+            .map(|b| (layout.common_depth(b.leaf, leaf), b.addr.0))
+            .collect();
+        // Deepest-first; ties broken by address for determinism.
+        cands.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut out: Vec<Vec<StoredBlock>> = vec![Vec::new(); levels - top_level];
+        let mut cursor = 0usize;
+        for level in (top_level..levels).rev() {
+            let cap = layout.z_of(level) as usize;
+            let slot = &mut out[level - top_level];
+            // Blocks with common depth ≥ level can live at `level` (or
+            // deeper, but deeper levels were already filled).
+            while cursor < cands.len() && slot.len() < cap {
+                let (depth, addr) = cands[cursor];
+                if depth < level {
+                    break;
+                }
+                cursor += 1;
+                let block = self.blocks[&addr];
+                if !may_place(level, &block) {
+                    continue; // skipped this round (e.g. S-Stash set full)
+                }
+                slot.push(self.blocks.remove(&addr).expect("candidate resident"));
+            }
+            // Skipped blocks with depth ≥ level may still fit at a
+            // shallower level; re-scan is handled by the shallower levels
+            // because their depth also satisfies depth ≥ shallower level.
+            // (cursor has moved past them, so re-insert logic below.)
+            if slot.len() < cap {
+                // Give passed-over candidates another chance at this level:
+                // they were skipped by may_place at deeper levels, or left
+                // behind by capacity; both remain eligible here.
+                for i in 0..cursor {
+                    if slot.len() >= cap {
+                        break;
+                    }
+                    let (depth, addr) = cands[i];
+                    if depth < level || !self.blocks.contains_key(&addr) {
+                        continue;
+                    }
+                    let block = self.blocks[&addr];
+                    if !may_place(level, &block) {
+                        continue;
+                    }
+                    slot.push(self.blocks.remove(&addr).expect("candidate resident"));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ZAllocation;
+
+    fn blk(addr: u64, leaf: u64) -> StoredBlock {
+        StoredBlock {
+            addr: BlockAddr(addr),
+            leaf: Leaf(leaf),
+            payload: addr * 100,
+        }
+    }
+
+    fn layout4() -> TreeLayout {
+        // 4 levels, Z=1 for visibility of placement decisions.
+        TreeLayout::new(ZAllocation::uniform(4, 1))
+    }
+
+    #[test]
+    fn insert_get_take() {
+        let mut s = Stash::new(10);
+        s.insert(blk(1, 3));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(BlockAddr(1)));
+        assert_eq!(s.get(BlockAddr(1)).unwrap().leaf, Leaf(3));
+        s.get_mut(BlockAddr(1)).unwrap().payload = 7;
+        assert_eq!(s.take(BlockAddr(1)).unwrap().payload, 7);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn insert_replaces_same_address() {
+        let mut s = Stash::new(10);
+        s.insert(blk(1, 3));
+        s.insert(blk(1, 5));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(BlockAddr(1)).unwrap().leaf, Leaf(5));
+    }
+
+    #[test]
+    fn occupancy_tracking() {
+        let mut s = Stash::new(2);
+        s.insert(blk(1, 0));
+        s.insert(blk(2, 0));
+        assert!(!s.over_capacity());
+        s.insert(blk(3, 0));
+        assert!(s.over_capacity());
+        assert_eq!(s.max_occupancy(), 3);
+        s.take(BlockAddr(1));
+        s.take(BlockAddr(2));
+        assert_eq!(s.max_occupancy(), 3, "high-water mark persists");
+    }
+
+    #[test]
+    fn writeback_pushes_deepest() {
+        let mut s = Stash::new(10);
+        // Block mapped to the accessed leaf itself: can go to leaf level.
+        s.insert(blk(1, 5));
+        // Block sharing only the root with leaf 5 (leaf 1 differs in top bit).
+        s.insert(blk(2, 1));
+        let layout = layout4();
+        let plan = s.plan_writeback(&layout, Leaf(5), 0, |_, _| true);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan[3], vec![blk(1, 5)], "own-leaf block at leaf level");
+        assert_eq!(plan[0], vec![blk(2, 1)], "distant block at root");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn writeback_respects_capacity() {
+        let mut s = Stash::new(10);
+        // Three blocks all mapped to leaf 5; Z=1 per level: they can occupy
+        // levels 3, 2, 1, 0 (all on the same path).
+        for a in 1..=5 {
+            s.insert(blk(a, 5));
+        }
+        let layout = layout4();
+        let plan = s.plan_writeback(&layout, Leaf(5), 0, |_, _| true);
+        let placed: usize = plan.iter().map(Vec::len).sum();
+        assert_eq!(placed, 4, "one block per level fits");
+        assert_eq!(s.len(), 1, "one block left in stash");
+    }
+
+    #[test]
+    fn writeback_excludes_via_predicate() {
+        let mut s = Stash::new(10);
+        s.insert(blk(1, 5));
+        let layout = layout4();
+        let plan = s.plan_writeback(&layout, Leaf(5), 0, |_, b| b.addr != BlockAddr(1));
+        assert!(plan.iter().all(Vec::is_empty));
+        assert!(s.contains(BlockAddr(1)));
+    }
+
+    #[test]
+    fn writeback_honours_top_level_offset() {
+        let mut s = Stash::new(10);
+        s.insert(blk(1, 5)); // could go to leaf level
+        s.insert(blk(2, 1)); // only the root — below top_level=1, unplaceable
+        let layout = layout4();
+        let plan = s.plan_writeback(&layout, Leaf(5), 1, |_, _| true);
+        assert_eq!(plan.len(), 3, "levels 1..4");
+        let placed: usize = plan.iter().map(Vec::len).sum();
+        assert_eq!(placed, 1);
+        assert!(s.contains(BlockAddr(2)), "root-only block stays in stash");
+    }
+
+    #[test]
+    fn writeback_skip_then_place_shallower() {
+        // A block skipped at the leaf level (e.g. S-Stash conflict) must
+        // still be eligible for shallower levels.
+        let mut s = Stash::new(10);
+        s.insert(blk(1, 5));
+        let layout = layout4();
+        let plan = s.plan_writeback(&layout, Leaf(5), 0, |level, _| level != 3);
+        assert!(plan[3].is_empty());
+        let placed: usize = plan.iter().map(Vec::len).sum();
+        assert_eq!(placed, 1, "placed at a shallower level instead");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn writeback_empty_stash() {
+        let mut s = Stash::new(10);
+        let layout = layout4();
+        let plan = s.plan_writeback(&layout, Leaf(0), 0, |_, _| true);
+        assert!(plan.iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,284 @@
+//! Dense storage for the ORAM tree's buckets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BlockAddr, Leaf, StoredBlock, TreeLayout};
+
+/// Sentinel address marking an empty (dummy) slot.
+const DUMMY: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Slot {
+    addr: u64,
+    leaf: u64,
+    payload: u64,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    addr: DUMMY,
+    leaf: 0,
+    payload: 0,
+};
+
+/// The ORAM tree's slot array (logical storage for every level, including
+/// levels that are mirrored on-chip by a tree-top store).
+///
+/// Real blocks and dummies share slots; a dummy is an empty slot (in
+/// hardware it would be an encrypted indistinguishable block — the
+/// distinguishability aspect is handled by the access protocol, not the
+/// storage).
+///
+/// # Examples
+///
+/// ```
+/// use iroram_protocol::{OramTree, TreeLayout, ZAllocation, StoredBlock, BlockAddr, Leaf};
+/// let layout = TreeLayout::new(ZAllocation::uniform(3, 2));
+/// let mut tree = OramTree::new(layout.clone());
+/// tree.write_bucket(2, 3, vec![StoredBlock { addr: BlockAddr(1), leaf: Leaf(3), payload: 5 }]);
+/// let blocks = tree.take_bucket(2, 3);
+/// assert_eq!(blocks.len(), 1);
+/// assert!(tree.take_bucket(2, 3).is_empty());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OramTree {
+    layout: TreeLayout,
+    slots: Vec<Slot>,
+    /// Real blocks per level, maintained incrementally for O(L) utilization
+    /// snapshots.
+    used_per_level: Vec<u64>,
+}
+
+impl OramTree {
+    /// Creates an all-dummy tree.
+    pub fn new(layout: TreeLayout) -> Self {
+        let slots = vec![EMPTY_SLOT; layout.total_slots() as usize];
+        let used_per_level = vec![0; layout.levels()];
+        OramTree {
+            layout,
+            slots,
+            used_per_level,
+        }
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> &TreeLayout {
+        &self.layout
+    }
+
+    /// Removes and returns the real blocks of bucket `(level, bucket)`
+    /// (the read-path step: fetched blocks move to the stash, dummies are
+    /// discarded).
+    pub fn take_bucket(&mut self, level: usize, bucket: u64) -> Vec<StoredBlock> {
+        let z = self.layout.z_of(level);
+        let mut out = Vec::new();
+        for s in 0..z {
+            let idx = self.layout.slot_index(level, bucket, s);
+            let slot = &mut self.slots[idx];
+            if slot.addr != DUMMY {
+                out.push(StoredBlock {
+                    addr: BlockAddr(slot.addr),
+                    leaf: Leaf(slot.leaf),
+                    payload: slot.payload,
+                });
+                *slot = EMPTY_SLOT;
+            }
+        }
+        self.used_per_level[level] -= out.len() as u64;
+        out
+    }
+
+    /// Overwrites bucket `(level, bucket)` with `blocks`, padding the rest
+    /// with dummies (the write-path step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more blocks than the bucket's capacity are supplied, or if
+    /// any block's leaf path does not pass through this bucket.
+    pub fn write_bucket(&mut self, level: usize, bucket: u64, blocks: Vec<StoredBlock>) {
+        let z = self.layout.z_of(level);
+        assert!(
+            blocks.len() <= z as usize,
+            "bucket overflow: {} blocks into Z={z}",
+            blocks.len()
+        );
+        // Clear old contents first.
+        let mut removed = 0u64;
+        for s in 0..z {
+            let idx = self.layout.slot_index(level, bucket, s);
+            if self.slots[idx].addr != DUMMY {
+                removed += 1;
+            }
+            self.slots[idx] = EMPTY_SLOT;
+        }
+        self.used_per_level[level] -= removed;
+        for (s, b) in blocks.iter().enumerate() {
+            debug_assert_eq!(
+                self.layout.bucket_on_path(b.leaf, level),
+                bucket,
+                "block {} (leaf {}) does not belong to bucket {bucket} at level {level}",
+                b.addr,
+                b.leaf
+            );
+            let idx = self.layout.slot_index(level, bucket, s as u32);
+            self.slots[idx] = Slot {
+                addr: b.addr.0,
+                leaf: b.leaf.0,
+                payload: b.payload,
+            };
+        }
+        self.used_per_level[level] += blocks.len() as u64;
+    }
+
+    /// Non-destructive scan of a bucket's real blocks.
+    pub fn peek_bucket(&self, level: usize, bucket: u64) -> Vec<StoredBlock> {
+        let z = self.layout.z_of(level);
+        (0..z)
+            .filter_map(|s| {
+                let slot = &self.slots[self.layout.slot_index(level, bucket, s)];
+                (slot.addr != DUMMY).then_some(StoredBlock {
+                    addr: BlockAddr(slot.addr),
+                    leaf: Leaf(slot.leaf),
+                    payload: slot.payload,
+                })
+            })
+            .collect()
+    }
+
+    /// Real-block count at `level`.
+    pub fn used_at(&self, level: usize) -> u64 {
+        self.used_per_level[level]
+    }
+
+    /// Space utilization of `level`: real blocks / allocated slots.
+    pub fn utilization_at(&self, level: usize) -> f64 {
+        let slots = self.layout.slots_at(level);
+        if slots == 0 {
+            0.0
+        } else {
+            self.used_per_level[level] as f64 / slots as f64
+        }
+    }
+
+    /// Per-level `(used, capacity)` pairs.
+    pub fn occupancy(&self) -> Vec<(u64, u64)> {
+        (0..self.layout.levels())
+            .map(|l| (self.used_per_level[l], self.layout.slots_at(l)))
+            .collect()
+    }
+
+    /// Total real blocks stored.
+    pub fn total_used(&self) -> u64 {
+        self.used_per_level.iter().sum()
+    }
+
+    /// Iterates over all stored real blocks with their coordinates
+    /// (for invariant checking; O(total slots)).
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (usize, u64, StoredBlock)> + '_ {
+        (0..self.layout.levels()).flat_map(move |level| {
+            (0..(1u64 << level)).flat_map(move |bucket| {
+                (0..self.layout.z_of(level)).filter_map(move |s| {
+                    let slot = &self.slots[self.layout.slot_index(level, bucket, s)];
+                    (slot.addr != DUMMY).then_some((
+                        level,
+                        bucket,
+                        StoredBlock {
+                            addr: BlockAddr(slot.addr),
+                            leaf: Leaf(slot.leaf),
+                            payload: slot.payload,
+                        },
+                    ))
+                })
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ZAllocation;
+
+    fn blk(addr: u64, leaf: u64) -> StoredBlock {
+        StoredBlock {
+            addr: BlockAddr(addr),
+            leaf: Leaf(leaf),
+            payload: addr,
+        }
+    }
+
+    fn tree3() -> OramTree {
+        OramTree::new(TreeLayout::new(ZAllocation::uniform(3, 2)))
+    }
+
+    #[test]
+    fn starts_empty() {
+        let t = tree3();
+        assert_eq!(t.total_used(), 0);
+        assert_eq!(t.utilization_at(0), 0.0);
+        assert!(t.peek_bucket(0, 0).is_empty());
+    }
+
+    #[test]
+    fn write_take_round_trip() {
+        let mut t = tree3();
+        t.write_bucket(2, 1, vec![blk(10, 1), blk(11, 1)]);
+        assert_eq!(t.used_at(2), 2);
+        assert_eq!(t.utilization_at(2), 2.0 / 8.0);
+        let got = t.take_bucket(2, 1);
+        assert_eq!(got.len(), 2);
+        assert_eq!(t.used_at(2), 0);
+    }
+
+    #[test]
+    fn write_overwrites_previous_contents() {
+        let mut t = tree3();
+        t.write_bucket(2, 1, vec![blk(10, 1)]);
+        t.write_bucket(2, 1, vec![blk(11, 1), blk(12, 1)]);
+        let got = t.peek_bucket(2, 1);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|b| b.addr != BlockAddr(10)));
+        assert_eq!(t.used_at(2), 2);
+    }
+
+    #[test]
+    fn partial_bucket_pads_with_dummies() {
+        let mut t = tree3();
+        t.write_bucket(1, 0, vec![blk(5, 1)]);
+        assert_eq!(t.peek_bucket(1, 0).len(), 1);
+        assert_eq!(t.take_bucket(1, 0).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket overflow")]
+    fn overflow_panics() {
+        let mut t = tree3();
+        t.write_bucket(0, 0, vec![blk(1, 0), blk(2, 0), blk(3, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn wrong_path_panics_in_debug() {
+        let mut t = tree3();
+        // leaf 3's path at level 2 is bucket 3, not bucket 0.
+        t.write_bucket(2, 0, vec![blk(1, 3)]);
+    }
+
+    #[test]
+    fn iter_blocks_reports_coordinates() {
+        let mut t = tree3();
+        t.write_bucket(2, 3, vec![blk(7, 3)]);
+        t.write_bucket(0, 0, vec![blk(8, 2)]);
+        let all: Vec<_> = t.iter_blocks().collect();
+        assert_eq!(all.len(), 2);
+        assert!(all.contains(&(2, 3, blk(7, 3))));
+        assert!(all.contains(&(0, 0, blk(8, 2))));
+    }
+
+    #[test]
+    fn occupancy_snapshot() {
+        let mut t = tree3();
+        t.write_bucket(2, 0, vec![blk(1, 0), blk(2, 0)]);
+        let occ = t.occupancy();
+        assert_eq!(occ, vec![(0, 2), (0, 4), (2, 8)]);
+    }
+}

@@ -1,0 +1,504 @@
+//! On-chip tree-top stores: the dedicated cache and IR-Stash's S-Stash.
+//!
+//! Both the Baseline and IR-ORAM keep the top ten tree levels on-chip
+//! (Table I: a 256 KB dedicated cache). The two designs differ in *how the
+//! store can be addressed*:
+//!
+//! * [`DedicatedTreeTop`] — indexed only by tree position (level, bucket),
+//!   "invisible to the LLC" (Section IV-C). A request must resolve its
+//!   PosMap entry before discovering its block was on-chip all along — the
+//!   wasted PosMap traffic IR-Stash eliminates.
+//! * [`IrStashTop`] — the double-indexed S-Stash: a set-associative array
+//!   indexed by **MD5 of the block address** for LLC-side lookups, plus the
+//!   `TT` pointer table that rebuilds the tree structure for ORAM-side path
+//!   accesses. The TT index uses the paper's code: skip all-zeros, the root
+//!   is `0…01`, and level `l` bucket `b` gets code `(1 << l) | b`.
+
+use serde::{Deserialize, Serialize};
+
+use iroram_hash::md5_u64;
+
+use crate::{BlockAddr, StoredBlock, TreeLayout};
+
+/// Common interface of the two tree-top stores.
+///
+/// Levels `[0, cached_levels)` of the logical tree live in the store; the
+/// controller routes those levels' bucket reads/writes here instead of to
+/// memory.
+pub trait TreeTopStore {
+    /// Number of cached top levels.
+    fn cached_levels(&self) -> usize;
+
+    /// Removes and returns the real blocks of a cached bucket.
+    fn take_bucket(&mut self, level: usize, bucket: u64) -> Vec<StoredBlock>;
+
+    /// Stores `blocks` as the new contents of a cached bucket. Returns the
+    /// blocks that could **not** be stored (S-Stash set conflicts); the
+    /// caller returns them to the stash ("we skip picking this block for
+    /// this round", Section IV-C).
+    fn write_bucket(&mut self, level: usize, bucket: u64, blocks: Vec<StoredBlock>)
+        -> Vec<StoredBlock>;
+
+    /// Non-destructive view of a cached bucket.
+    fn peek_bucket(&self, level: usize, bucket: u64) -> Vec<StoredBlock>;
+
+    /// Whether a block could currently be stored into bucket
+    /// `(level, bucket)`.
+    fn can_accept(&self, level: usize, bucket: u64, block: &StoredBlock) -> bool;
+
+    /// LLC-side lookup by block address. Only the double-indexed S-Stash
+    /// supports this; the dedicated cache always reports `None` (it cannot
+    /// be searched by address in hardware).
+    fn front_probe(&self, addr: BlockAddr) -> Option<usize>;
+
+    /// Mutable access to a front-probed block (for write hits).
+    fn front_get_mut(&mut self, addr: BlockAddr) -> Option<&mut StoredBlock>;
+
+    /// Per-cached-level `(used, capacity)`.
+    fn occupancy(&self) -> Vec<(u64, u64)>;
+
+    /// Total blocks stored.
+    fn total_used(&self) -> u64;
+
+    /// All stored blocks with their coordinates.
+    fn blocks(&self) -> Vec<(usize, u64, StoredBlock)>;
+
+    /// Empties the store (context switch), returning every block so the
+    /// controller can write them back to their memory locations.
+    fn flush(&mut self) -> Vec<(usize, u64, StoredBlock)>;
+}
+
+fn node_code(level: usize, bucket: u64) -> usize {
+    ((1u64 << level) | bucket) as usize
+}
+
+/// The dedicated tree-top cache design (Wang et al. \[32\], Baseline here).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DedicatedTreeTop {
+    cached_levels: usize,
+    /// Bucket storage indexed by the paper's node code.
+    buckets: Vec<Vec<StoredBlock>>,
+    /// Logical capacity per level.
+    z: Vec<u32>,
+}
+
+impl DedicatedTreeTop {
+    /// Creates an empty store for the top `cached_levels` of `layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cached_levels` is zero or not below the tree height.
+    pub fn new(layout: &TreeLayout, cached_levels: usize) -> Self {
+        assert!(
+            cached_levels > 0 && cached_levels < layout.levels(),
+            "cached levels must be in 1..levels"
+        );
+        DedicatedTreeTop {
+            cached_levels,
+            buckets: vec![Vec::new(); 1 << cached_levels],
+            z: (0..cached_levels).map(|l| layout.z_of(l)).collect(),
+        }
+    }
+}
+
+impl TreeTopStore for DedicatedTreeTop {
+    fn cached_levels(&self) -> usize {
+        self.cached_levels
+    }
+
+    fn take_bucket(&mut self, level: usize, bucket: u64) -> Vec<StoredBlock> {
+        assert!(level < self.cached_levels);
+        std::mem::take(&mut self.buckets[node_code(level, bucket)])
+    }
+
+    fn write_bucket(
+        &mut self,
+        level: usize,
+        bucket: u64,
+        blocks: Vec<StoredBlock>,
+    ) -> Vec<StoredBlock> {
+        assert!(level < self.cached_levels);
+        assert!(
+            blocks.len() <= self.z[level] as usize,
+            "bucket overflow at level {level}"
+        );
+        self.buckets[node_code(level, bucket)] = blocks;
+        Vec::new()
+    }
+
+    fn peek_bucket(&self, level: usize, bucket: u64) -> Vec<StoredBlock> {
+        self.buckets[node_code(level, bucket)].clone()
+    }
+
+    fn can_accept(&self, level: usize, _bucket: u64, _block: &StoredBlock) -> bool {
+        level < self.cached_levels
+    }
+
+    fn front_probe(&self, _addr: BlockAddr) -> Option<usize> {
+        None // not addressable by block address
+    }
+
+    fn front_get_mut(&mut self, _addr: BlockAddr) -> Option<&mut StoredBlock> {
+        None
+    }
+
+    fn occupancy(&self) -> Vec<(u64, u64)> {
+        (0..self.cached_levels)
+            .map(|l| {
+                let used: u64 = (0..(1u64 << l))
+                    .map(|b| self.buckets[node_code(l, b)].len() as u64)
+                    .sum();
+                (used, (1u64 << l) * self.z[l] as u64)
+            })
+            .collect()
+    }
+
+    fn total_used(&self) -> u64 {
+        self.buckets.iter().map(|b| b.len() as u64).sum()
+    }
+
+    fn blocks(&self) -> Vec<(usize, u64, StoredBlock)> {
+        let mut out = Vec::new();
+        for l in 0..self.cached_levels {
+            for b in 0..(1u64 << l) {
+                for blk in &self.buckets[node_code(l, b)] {
+                    out.push((l, b, *blk));
+                }
+            }
+        }
+        out
+    }
+
+    fn flush(&mut self) -> Vec<(usize, u64, StoredBlock)> {
+        let out = self.blocks();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct SEntry {
+    block: StoredBlock,
+    level: u16,
+    bucket: u64,
+}
+
+/// IR-Stash's S-Stash: a set-associative, double-indexed tree-top store.
+///
+/// Data entries live in a set-associative array indexed by `MD5(addr)`; the
+/// `TT` pointer table maps each cached tree bucket to its (up to `Z`)
+/// entries, so ORAM path accesses can gather a bucket without knowing block
+/// addresses. A block can be rejected at fill time when its target set is
+/// full even though the bucket has room — the structural cost of set
+/// associativity that [`TreeTopStore::can_accept`] exposes to the write
+/// planner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IrStashTop {
+    cached_levels: usize,
+    sets: usize,
+    ways: usize,
+    entries: Vec<Option<SEntry>>,
+    /// TT pointer table: node code → entry indices.
+    tt: Vec<Vec<u32>>,
+    z: Vec<u32>,
+}
+
+impl IrStashTop {
+    /// Creates an empty S-Stash of `sets × ways` entries caching the top
+    /// `cached_levels` of `layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero or `cached_levels` is not below the
+    /// tree height.
+    pub fn new(layout: &TreeLayout, cached_levels: usize, sets: usize, ways: usize) -> Self {
+        assert!(
+            cached_levels > 0 && cached_levels < layout.levels(),
+            "cached levels must be in 1..levels"
+        );
+        assert!(sets > 0 && ways > 0, "S-Stash dimensions must be nonzero");
+        IrStashTop {
+            cached_levels,
+            sets,
+            ways,
+            entries: vec![None; sets * ways],
+            tt: vec![Vec::new(); 1 << cached_levels],
+            z: (0..cached_levels).map(|l| layout.z_of(l)).collect(),
+        }
+    }
+
+    /// Total entry capacity (`sets × ways`).
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    #[inline]
+    fn set_of(&self, addr: BlockAddr) -> usize {
+        (md5_u64(addr.0) % self.sets as u64) as usize
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    fn find_entry(&self, addr: BlockAddr) -> Option<usize> {
+        let range = self.set_range(self.set_of(addr));
+        (range.start..range.end)
+            .find(|&i| self.entries[i].is_some_and(|e| e.block.addr == addr))
+    }
+}
+
+impl TreeTopStore for IrStashTop {
+    fn cached_levels(&self) -> usize {
+        self.cached_levels
+    }
+
+    fn take_bucket(&mut self, level: usize, bucket: u64) -> Vec<StoredBlock> {
+        assert!(level < self.cached_levels);
+        let ptrs = std::mem::take(&mut self.tt[node_code(level, bucket)]);
+        ptrs.into_iter()
+            .map(|p| {
+                self.entries[p as usize]
+                    .take()
+                    .expect("TT pointer must reference a live entry")
+                    .block
+            })
+            .collect()
+    }
+
+    fn write_bucket(
+        &mut self,
+        level: usize,
+        bucket: u64,
+        blocks: Vec<StoredBlock>,
+    ) -> Vec<StoredBlock> {
+        assert!(level < self.cached_levels);
+        assert!(
+            blocks.len() <= self.z[level] as usize,
+            "bucket overflow at level {level}"
+        );
+        let code = node_code(level, bucket);
+        // The caller always takes before writing; any leftover pointers are
+        // stale content being replaced.
+        for p in std::mem::take(&mut self.tt[code]) {
+            self.entries[p as usize] = None;
+        }
+        let mut rejected = Vec::new();
+        for block in blocks {
+            let range = self.set_range(self.set_of(block.addr));
+            match (range.start..range.end).find(|&i| self.entries[i].is_none()) {
+                Some(free) => {
+                    self.entries[free] = Some(SEntry {
+                        block,
+                        level: level as u16,
+                        bucket,
+                    });
+                    self.tt[code].push(free as u32);
+                }
+                None => rejected.push(block),
+            }
+        }
+        rejected
+    }
+
+    fn peek_bucket(&self, level: usize, bucket: u64) -> Vec<StoredBlock> {
+        self.tt[node_code(level, bucket)]
+            .iter()
+            .map(|&p| {
+                self.entries[p as usize]
+                    .expect("TT pointer must reference a live entry")
+                    .block
+            })
+            .collect()
+    }
+
+    fn can_accept(&self, level: usize, _bucket: u64, block: &StoredBlock) -> bool {
+        if level >= self.cached_levels {
+            return false;
+        }
+        let range = self.set_range(self.set_of(block.addr));
+        self.entries[range].iter().any(Option::is_none)
+    }
+
+    fn front_probe(&self, addr: BlockAddr) -> Option<usize> {
+        self.find_entry(addr)
+            .map(|i| self.entries[i].expect("found entry").level as usize)
+    }
+
+    fn front_get_mut(&mut self, addr: BlockAddr) -> Option<&mut StoredBlock> {
+        let i = self.find_entry(addr)?;
+        self.entries[i].as_mut().map(|e| &mut e.block)
+    }
+
+    fn occupancy(&self) -> Vec<(u64, u64)> {
+        let mut used = vec![0u64; self.cached_levels];
+        for e in self.entries.iter().flatten() {
+            used[e.level as usize] += 1;
+        }
+        (0..self.cached_levels)
+            .map(|l| (used[l], (1u64 << l) * self.z[l] as u64))
+            .collect()
+    }
+
+    fn total_used(&self) -> u64 {
+        self.entries.iter().flatten().count() as u64
+    }
+
+    fn blocks(&self) -> Vec<(usize, u64, StoredBlock)> {
+        self.entries
+            .iter()
+            .flatten()
+            .map(|e| (e.level as usize, e.bucket, e.block))
+            .collect()
+    }
+
+    fn flush(&mut self) -> Vec<(usize, u64, StoredBlock)> {
+        let out = self.blocks();
+        self.entries.iter_mut().for_each(|e| *e = None);
+        self.tt.iter_mut().for_each(Vec::clear);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Leaf, ZAllocation};
+
+    fn layout() -> TreeLayout {
+        TreeLayout::new(ZAllocation::uniform(6, 4))
+    }
+
+    fn blk(addr: u64, leaf: u64) -> StoredBlock {
+        StoredBlock {
+            addr: BlockAddr(addr),
+            leaf: Leaf(leaf),
+            payload: addr,
+        }
+    }
+
+    #[test]
+    fn node_codes_match_paper() {
+        // Root is 0…01; level-by-level continuation.
+        assert_eq!(node_code(0, 0), 1);
+        assert_eq!(node_code(1, 0), 2);
+        assert_eq!(node_code(1, 1), 3);
+        assert_eq!(node_code(2, 0), 4);
+        assert_eq!(node_code(2, 3), 7);
+    }
+
+    #[test]
+    fn dedicated_round_trip() {
+        let l = layout();
+        let mut top = DedicatedTreeTop::new(&l, 3);
+        assert_eq!(top.cached_levels(), 3);
+        let rejected = top.write_bucket(2, 3, vec![blk(1, 28), blk(2, 31)]);
+        assert!(rejected.is_empty());
+        assert_eq!(top.peek_bucket(2, 3).len(), 2);
+        assert_eq!(top.total_used(), 2);
+        let got = top.take_bucket(2, 3);
+        assert_eq!(got.len(), 2);
+        assert_eq!(top.total_used(), 0);
+    }
+
+    #[test]
+    fn dedicated_has_no_front_door() {
+        let l = layout();
+        let mut top = DedicatedTreeTop::new(&l, 3);
+        top.write_bucket(0, 0, vec![blk(9, 0)]);
+        assert_eq!(top.front_probe(BlockAddr(9)), None);
+        assert!(top.front_get_mut(BlockAddr(9)).is_none());
+    }
+
+    #[test]
+    fn dedicated_occupancy_and_flush() {
+        let l = layout();
+        let mut top = DedicatedTreeTop::new(&l, 2);
+        top.write_bucket(0, 0, vec![blk(1, 0)]);
+        top.write_bucket(1, 1, vec![blk(2, 16), blk(3, 24)]);
+        assert_eq!(top.occupancy(), vec![(1, 4), (2, 8)]);
+        let flushed = top.flush();
+        assert_eq!(flushed.len(), 3);
+        assert_eq!(top.total_used(), 0);
+    }
+
+    #[test]
+    fn irstash_round_trip_via_tt() {
+        let l = layout();
+        let mut top = IrStashTop::new(&l, 3, 8, 4);
+        let rejected = top.write_bucket(2, 1, vec![blk(10, 8), blk(11, 9)]);
+        assert!(rejected.is_empty());
+        assert_eq!(top.peek_bucket(2, 1).len(), 2);
+        let got = top.take_bucket(2, 1);
+        assert_eq!(got.len(), 2);
+        assert_eq!(top.total_used(), 0);
+        assert!(top.peek_bucket(2, 1).is_empty());
+    }
+
+    #[test]
+    fn irstash_front_door_finds_blocks() {
+        let l = layout();
+        let mut top = IrStashTop::new(&l, 3, 8, 4);
+        top.write_bucket(1, 0, vec![blk(42, 0)]);
+        assert_eq!(top.front_probe(BlockAddr(42)), Some(1));
+        assert_eq!(top.front_probe(BlockAddr(43)), None);
+        top.front_get_mut(BlockAddr(42)).unwrap().payload = 777;
+        assert_eq!(top.peek_bucket(1, 0)[0].payload, 777);
+    }
+
+    #[test]
+    fn irstash_rejects_on_set_conflict() {
+        let l = layout();
+        // One set, one way: the second block to that set must be rejected.
+        let mut top = IrStashTop::new(&l, 3, 1, 1);
+        let b1 = blk(1, 0);
+        let b2 = blk(2, 0);
+        assert!(top.can_accept(0, 0, &b1));
+        let rej = top.write_bucket(0, 0, vec![b1, b2]);
+        assert_eq!(rej.len(), 1);
+        assert!(!top.can_accept(1, 0, &b2), "full set must refuse");
+        assert_eq!(top.total_used(), 1);
+    }
+
+    #[test]
+    fn irstash_write_replaces_stale_bucket() {
+        let l = layout();
+        let mut top = IrStashTop::new(&l, 3, 8, 4);
+        top.write_bucket(2, 2, vec![blk(1, 21)]);
+        top.write_bucket(2, 2, vec![blk(2, 20)]);
+        let got = top.peek_bucket(2, 2);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].addr, BlockAddr(2));
+        assert_eq!(top.total_used(), 1, "stale entry must be freed");
+        assert_eq!(top.front_probe(BlockAddr(1)), None);
+    }
+
+    #[test]
+    fn irstash_occupancy_per_level() {
+        let l = layout();
+        let mut top = IrStashTop::new(&l, 2, 16, 4);
+        top.write_bucket(0, 0, vec![blk(1, 0), blk(2, 17)]);
+        top.write_bucket(1, 1, vec![blk(3, 16)]);
+        assert_eq!(top.occupancy(), vec![(2, 4), (1, 8)]);
+    }
+
+    #[test]
+    fn irstash_flush_reports_coordinates() {
+        let l = layout();
+        let mut top = IrStashTop::new(&l, 2, 16, 4);
+        top.write_bucket(1, 1, vec![blk(3, 16)]);
+        let flushed = top.flush();
+        assert_eq!(flushed, vec![(1, 1, blk(3, 16))]);
+        assert_eq!(top.total_used(), 0);
+        assert_eq!(top.front_probe(BlockAddr(3)), None);
+    }
+
+    #[test]
+    fn irstash_capacity() {
+        let l = layout();
+        let top = IrStashTop::new(&l, 3, 8, 4);
+        assert_eq!(top.capacity(), 32);
+    }
+}

@@ -1,0 +1,176 @@
+//! Core protocol value types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A block address in the unified (Freecursive-merged) block address space.
+///
+/// Data blocks occupy `[0, n_data)`; PosMap₁ blocks follow them; PosMap₂
+/// blocks follow those (see [`crate::AddressSpace`]). One block = one 64 B
+/// cache line in the paper's configuration.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct BlockAddr(pub u64);
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk#{}", self.0)
+    }
+}
+
+impl From<u64> for BlockAddr {
+    fn from(v: u64) -> Self {
+        BlockAddr(v)
+    }
+}
+
+/// A path identifier: the index of a leaf bucket, in `[0, 2^(L-1))` for an
+/// `L`-level tree. Accessing path `l` touches every bucket from the root to
+/// leaf `l`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Leaf(pub u64);
+
+impl fmt::Display for Leaf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "leaf#{}", self.0)
+    }
+}
+
+impl From<u64> for Leaf {
+    fn from(v: u64) -> Self {
+        Leaf(v)
+    }
+}
+
+/// What role a block address plays in the Freecursive-merged tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// User data block.
+    Data,
+    /// First-level position-map block (maps 16 data blocks to leaves).
+    PosMap1,
+    /// Second-level position-map block (maps 16 PosMap₁ blocks to leaves).
+    PosMap2,
+}
+
+/// A block as stored in the stash, tree, or tree-top cache.
+///
+/// The `payload` carries user data through the protocol so correctness tests
+/// can verify read-your-writes end to end; it is stored "encrypted" (a keyed
+/// permutation) inside the tree by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredBlock {
+    /// The block's address.
+    pub addr: BlockAddr,
+    /// The path the block is currently mapped to.
+    pub leaf: Leaf,
+    /// 64-bit payload standing in for the 64 B line contents.
+    pub payload: u64,
+}
+
+/// The externally observable classification of one ORAM path access.
+///
+/// *Inside* the trusted controller these types exist; *outside* they are
+/// indistinguishable (Section III-A: "an attacker cannot determine the type
+/// of a particular path access outside of the TCB"). The obliviousness tests
+/// assert that the externally visible trace — leaf choice and per-level
+/// block counts — has the same distribution for every variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathType {
+    /// `PT_p` fetching a PosMap₁ block (paper's "Pos1").
+    Pos1,
+    /// `PT_p` fetching a PosMap₂ block (paper's "Pos2").
+    Pos2,
+    /// `PT_d` fetching the requested data block.
+    Data,
+    /// A background-eviction path draining the stash (Ren et al. \[25\]).
+    BgEvict,
+    /// `PT_m` dummy path inserted for timing protection.
+    Dummy,
+    /// A dummy slot converted by IR-DWB into useful early write-back work.
+    DwbConverted,
+}
+
+impl PathType {
+    /// Whether this is a position-map (`PT_p`) path.
+    pub fn is_posmap(self) -> bool {
+        matches!(self, PathType::Pos1 | PathType::Pos2)
+    }
+}
+
+/// One path access performed by the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathRecord {
+    /// The leaf (path ID) accessed.
+    pub leaf: Leaf,
+    /// The internal type of the access.
+    pub ptype: PathType,
+}
+
+/// Where a requested block was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServedFrom {
+    /// The small fully-associative stash (F-Stash).
+    FStash,
+    /// The set-associative S-Stash, hit by block address (IR-Stash only).
+    SStash,
+    /// The on-chip tree-top store, found after PosMap resolution.
+    TreeTop {
+        /// The cached tree level the block was found at.
+        level: usize,
+    },
+    /// The in-memory portion of the ORAM tree.
+    Tree {
+        /// The tree level the block was found at.
+        level: usize,
+    },
+    /// The block is escrowed outside the ORAM (delayed-remap policy: the
+    /// LLC holds the only copy).
+    Escrow,
+}
+
+impl ServedFrom {
+    /// The tree level for tree/tree-top hits (stash hits report `None`).
+    pub fn level(self) -> Option<usize> {
+        match self {
+            ServedFrom::TreeTop { level } | ServedFrom::Tree { level } => Some(level),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(BlockAddr(7).to_string(), "blk#7");
+        assert_eq!(Leaf(3).to_string(), "leaf#3");
+    }
+
+    #[test]
+    fn path_type_classification() {
+        assert!(PathType::Pos1.is_posmap());
+        assert!(PathType::Pos2.is_posmap());
+        assert!(!PathType::Data.is_posmap());
+        assert!(!PathType::Dummy.is_posmap());
+    }
+
+    #[test]
+    fn served_from_level() {
+        assert_eq!(ServedFrom::Tree { level: 5 }.level(), Some(5));
+        assert_eq!(ServedFrom::TreeTop { level: 2 }.level(), Some(2));
+        assert_eq!(ServedFrom::FStash.level(), None);
+        assert_eq!(ServedFrom::Escrow.level(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(BlockAddr::from(4u64), BlockAddr(4));
+        assert_eq!(Leaf::from(9u64), Leaf(9));
+    }
+}

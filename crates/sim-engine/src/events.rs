@@ -1,0 +1,181 @@
+//! A stable pending-event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// A time-ordered queue of pending simulation events.
+///
+/// Events scheduled for the same cycle pop in insertion (FIFO) order, which
+/// keeps simulations deterministic regardless of heap internals.
+///
+/// # Examples
+///
+/// ```
+/// use iroram_sim_engine::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle(7), "late");
+/// q.push(Cycle(3), "early");
+/// q.push(Cycle(3), "early-second");
+/// assert_eq!(q.pop(), Some((Cycle(3), "early")));
+/// assert_eq!(q.pop(), Some((Cycle(3), "early-second")));
+/// assert_eq!(q.pop(), Some((Cycle(7), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, then
+        // lowest-sequence-first for FIFO stability.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: Cycle, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Returns the time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest event only if it is due at or before
+    /// `now`.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, E)> {
+        if self.peek_time().is_some_and(|t| t <= now) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> Extend<(Cycle, E)> for EventQueue<E> {
+    fn extend<T: IntoIterator<Item = (Cycle, E)>>(&mut self, iter: T) {
+        for (t, e) in iter {
+            self.push(t, e);
+        }
+    }
+}
+
+impl<E> FromIterator<(Cycle, E)> for EventQueue<E> {
+    fn from_iter<T: IntoIterator<Item = (Cycle, E)>>(iter: T) -> Self {
+        let mut q = EventQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(30), 3);
+        q.push(Cycle(10), 1);
+        q.push(Cycle(20), 2);
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle(30), 3)));
+    }
+
+    #[test]
+    fn fifo_within_same_time() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle(5), i)));
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), 'a');
+        assert_eq!(q.pop_due(Cycle(9)), None);
+        assert_eq!(q.pop_due(Cycle(10)), Some((Cycle(10), 'a')));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q: EventQueue<u8> = [(Cycle(4), 1u8), (Cycle(2), 2)].into_iter().collect();
+        assert_eq!(q.peek_time(), Some(Cycle(2)));
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

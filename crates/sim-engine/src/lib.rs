@@ -1,0 +1,40 @@
+//! Discrete-event simulation kernel for the IR-ORAM reproduction.
+//!
+//! This crate provides the domain-neutral pieces every simulator in the
+//! workspace builds on:
+//!
+//! * [`Cycle`] — a newtype for simulated time, with clock-domain conversion
+//!   via [`ClockRatio`] (the CPU runs at 3.2 GHz while DDR3-1600 DRAM runs at
+//!   800 MHz in the paper's Table I).
+//! * [`SimRng`] — a deterministic, seedable xoshiro256++ generator so every
+//!   experiment is exactly reproducible from its seed.
+//! * [`EventQueue`] — a stable (FIFO-within-same-time) pending-event set.
+//! * [`stats`] — counters, histograms and running statistics with a named
+//!   registry used by the experiment harness to export results.
+//!
+//! # Examples
+//!
+//! ```
+//! use iroram_sim_engine::{Cycle, EventQueue, SimRng};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(Cycle(10), "b");
+//! q.push(Cycle(5), "a");
+//! assert_eq!(q.pop(), Some((Cycle(5), "a")));
+//!
+//! let mut rng = SimRng::seed_from(42);
+//! let x = rng.gen_range(0..100);
+//! assert!(x < 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycles;
+mod events;
+mod rng;
+pub mod stats;
+
+pub use cycles::{ClockRatio, Cycle};
+pub use events::EventQueue;
+pub use rng::SimRng;

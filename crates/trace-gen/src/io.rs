@@ -1,0 +1,131 @@
+//! Binary trace file IO.
+//!
+//! A simple length-prefixed binary format so traces can be captured once
+//! (e.g. a calibrated workload) and replayed by the `trace_replay` example:
+//!
+//! ```text
+//! magic  "IRTR"            (4 bytes)
+//! version u32 LE           (4 bytes)
+//! count   u64 LE           (8 bytes)
+//! records: addr u64 LE | flags u8 (bit0 = write) | gap u32 LE
+//! ```
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::TraceRecord;
+
+const MAGIC: &[u8; 4] = b"IRTR";
+const VERSION: u32 = 1;
+
+/// Serializes `records` to `writer` in the IRTR format.
+///
+/// # Errors
+///
+/// Propagates any IO error from `writer`.
+pub fn write_trace<W: Write>(mut writer: W, records: &[TraceRecord]) -> io::Result<()> {
+    let mut buf = BytesMut::with_capacity(16 + records.len() * 13);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(records.len() as u64);
+    for r in records {
+        buf.put_u64_le(r.addr);
+        buf.put_u8(u8::from(r.is_write));
+        buf.put_u32_le(r.gap);
+    }
+    writer.write_all(&buf)
+}
+
+/// Reads an IRTR trace from `reader`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on magic/version mismatch or truncation, and
+/// propagates IO errors from `reader`.
+pub fn read_trace<R: Read>(mut reader: R) -> io::Result<Vec<TraceRecord>> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < 16 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let count = buf.get_u64_le() as usize;
+    if buf.remaining() < count * 13 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated body"));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let addr = buf.get_u64_le();
+        let flags = buf.get_u8();
+        let gap = buf.get_u32_le();
+        out.push(TraceRecord {
+            addr,
+            is_write: flags & 1 != 0,
+            gap,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let records = vec![
+            TraceRecord::load(0, 5),
+            TraceRecord::store(u64::MAX - 1, 0),
+            TraceRecord::load(42, u32::MAX),
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &records).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        assert!(read_trace(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&b"NOPE\0\0\0\0\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let records = vec![TraceRecord::load(1, 1); 10];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &records).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_trace(&buf[..]).is_err());
+        assert!(read_trace(&buf[..8]).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        buf[4] = 99;
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+}

@@ -1,0 +1,97 @@
+//! An oblivious key–value store built on the Path ORAM public API.
+//!
+//! The scenario from the paper's introduction: an application running on an
+//! untrusted cloud server whose *access pattern* must not leak. This
+//! example stores a key→value map inside the ORAM: keys are hashed to block
+//! addresses with linear probing, so every lookup — hit or miss, hot key or
+//! cold key — turns into the same kind of indistinguishable path accesses.
+//!
+//! Run with: `cargo run --release -p ir-oram --example secure_kv`
+
+use iroram_hash::mix64;
+use iroram_protocol::{OramConfig, PathOram};
+
+/// A fixed-capacity oblivious key–value store.
+///
+/// Each ORAM block stores one entry packed as `(key, value)`; the key must
+/// be nonzero (zero payload marks an empty slot). This is deliberately
+/// simple — the point is that *any* storage layout inherits obliviousness
+/// from the ORAM underneath.
+struct ObliviousKv {
+    oram: PathOram,
+    capacity: u64,
+}
+
+impl ObliviousKv {
+    fn new() -> Self {
+        let cfg = OramConfig::tiny();
+        let capacity = cfg.data_blocks / 2; // keys use half; values the rest
+        ObliviousKv {
+            oram: PathOram::new(cfg),
+            capacity,
+        }
+    }
+
+    fn slot_of(&self, key: u64, probe: u64) -> u64 {
+        (mix64(key).wrapping_add(probe * 0x9E37)) % self.capacity
+    }
+
+    /// Inserts or updates `key` (nonzero). Returns false when full.
+    fn put(&mut self, key: u64, value: u64) -> bool {
+        assert_ne!(key, 0, "keys must be nonzero");
+        for probe in 0..self.capacity {
+            let slot = self.slot_of(key, probe);
+            let stored_key = self.oram.read(slot);
+            if stored_key == 0 || stored_key == key {
+                self.oram.write(slot, key);
+                self.oram.write(self.capacity + slot, value);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Looks `key` up.
+    fn get(&mut self, key: u64) -> Option<u64> {
+        for probe in 0..self.capacity {
+            let slot = self.slot_of(key, probe);
+            let stored_key = self.oram.read(slot);
+            if stored_key == key {
+                return Some(self.oram.read(self.capacity + slot));
+            }
+            if stored_key == 0 {
+                return None;
+            }
+        }
+        None
+    }
+}
+
+fn main() {
+    let mut kv = ObliviousKv::new();
+
+    println!("inserting 40 entries…");
+    for k in 1..=40u64 {
+        assert!(kv.put(k, k * k), "store full");
+    }
+    println!("reading them back…");
+    for k in 1..=40u64 {
+        assert_eq!(kv.get(k), Some(k * k), "key {k}");
+    }
+    assert_eq!(kv.get(999), None);
+
+    // The security story: every get/put decomposed into uniform, remapped
+    // path accesses. A "hot" key and a cold key are indistinguishable.
+    let stats = kv.oram.stats();
+    println!(
+        "\n{} logical ORAM accesses → {} path accesses \
+         ({} data, {} PosMap, {} background-eviction)",
+        stats.accesses,
+        stats.total_paths(),
+        stats.data_paths,
+        stats.posmap_paths(),
+        stats.bg_evict_paths,
+    );
+    kv.oram.check_invariants().expect("ORAM structure sound");
+    println!("invariants hold; every block is on its mapped path.");
+}
