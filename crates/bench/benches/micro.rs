@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use iroram_cache::{CacheConfig, HierarchyConfig, MemoryHierarchy, SetAssocCache};
 use iroram_dram::{DramConfig, DramSystem, MemRequest, SubtreeLayout};
 use iroram_hash::{md5_u64, mix64, FeistelCipher};
-use iroram_protocol::{Leaf, Stash, StoredBlock, TreeLayout, ZAllocation};
+use iroram_protocol::{Leaf, Stash, StoredBlock, TreeLayout, WritebackPlan, ZAllocation};
 use iroram_sim_engine::{Cycle, SimRng};
 
 fn bench_hash(c: &mut Criterion) {
@@ -84,27 +84,50 @@ fn bench_cache(c: &mut Criterion) {
     g.finish();
 }
 
+fn filled_stash(rng: &mut SimRng, occupancy: u64) -> Stash {
+    let mut s = Stash::new(occupancy as usize);
+    for i in 0..occupancy {
+        s.insert(StoredBlock {
+            addr: iroram_protocol::BlockAddr(i),
+            leaf: Leaf(rng.next_below(1 << 16)),
+            payload: i,
+        });
+    }
+    s
+}
+
 fn bench_stash(c: &mut Criterion) {
     let mut g = c.benchmark_group("stash");
     let layout = TreeLayout::new(ZAllocation::uniform(17, 4));
-    g.bench_function("plan_writeback_200", |b| {
-        let mut rng = SimRng::seed_from(9);
-        b.iter_batched(
-            || {
-                let mut s = Stash::new(200);
-                for i in 0..200u64 {
-                    s.insert(StoredBlock {
-                        addr: iroram_protocol::BlockAddr(i),
-                        leaf: Leaf(rng.next_below(1 << 16)),
-                        payload: i,
-                    });
-                }
-                (s, Leaf(rng.next_below(1 << 16)))
-            },
-            |(mut s, leaf)| std::hint::black_box(s.plan_writeback(&layout, leaf, 0, |_, _| true)),
-            BatchSize::SmallInput,
-        )
-    });
+    // Occupancies straddling the soft capacity of 200: a lightly loaded
+    // stash, the paper's configured size, and a deep over-capacity backlog
+    // (background-eviction storms).
+    for occupancy in [50u64, 200, 800] {
+        g.bench_function(&format!("plan_writeback_{occupancy}"), |b| {
+            let mut rng = SimRng::seed_from(9);
+            b.iter_batched(
+                || (filled_stash(&mut rng, occupancy), Leaf(rng.next_below(1 << 16))),
+                |(mut s, leaf)| {
+                    std::hint::black_box(s.plan_writeback(&layout, leaf, 0, |_, _| true))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        // The allocation-free entry point the controller actually uses:
+        // scratch and plan buffers persist across iterations.
+        g.bench_function(&format!("plan_writeback_into_{occupancy}"), |b| {
+            let mut rng = SimRng::seed_from(9);
+            let mut plan = WritebackPlan::new();
+            b.iter_batched(
+                || (filled_stash(&mut rng, occupancy), Leaf(rng.next_below(1 << 16))),
+                |(mut s, leaf)| {
+                    s.plan_writeback_into(&layout, leaf, 0, |_, _| true, &mut plan);
+                    std::hint::black_box(plan.total_planned())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
     g.finish();
 }
 

@@ -1,0 +1,133 @@
+//! Simulator throughput harness: measures simulated memory operations per
+//! second of wall-clock time for every scheme, and writes the results to
+//! `BENCH_sim_throughput.json` at the repository root.
+//!
+//! Unlike the figure binaries (which report *simulated* metrics), this
+//! measures the *simulator itself* — the number it reports is how fast the
+//! experiment engine chews through work, which is what the hot-path kernels
+//! and the `--jobs` worker pool exist to improve. Typical use:
+//!
+//! ```text
+//! cargo run --release --bin perfstat -- --quick
+//! cargo run --release --bin perfstat -- --quick --jobs 8
+//! ```
+
+use std::time::Instant;
+
+use ir_oram::ALL_SCHEMES;
+use iroram_experiments::runner::{perf_benches, run_scheme};
+use iroram_experiments::ExpOptions;
+
+struct SchemeStat {
+    scheme: &'static str,
+    mem_ops: u64,
+    wall_seconds: f64,
+    ops_per_sec: f64,
+}
+
+fn scale_name(opts: &ExpOptions) -> &'static str {
+    let mut probe = *opts;
+    for (name, base) in [
+        ("quick", ExpOptions::quick()),
+        ("standard", ExpOptions::standard()),
+        ("full", ExpOptions::full()),
+    ] {
+        probe.jobs = base.jobs;
+        if probe == base {
+            return name;
+        }
+    }
+    "custom"
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(
+        !s.contains(['"', '\\']),
+        "scheme/bench names must not need JSON escaping"
+    );
+    s
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let benches = perf_benches();
+    let jobs = opts.effective_jobs();
+    println!(
+        "perfstat: {} schemes x {} benches at {} scale ({} mem-ops/cell, jobs={jobs})",
+        ALL_SCHEMES.len(),
+        benches.len(),
+        scale_name(&opts),
+        opts.mem_ops,
+    );
+
+    let mut stats: Vec<SchemeStat> = Vec::new();
+    let total_start = Instant::now();
+    for scheme in ALL_SCHEMES {
+        let start = Instant::now();
+        let reports = run_scheme(&opts, scheme, &benches);
+        let wall = start.elapsed().as_secs_f64();
+        let mem_ops: u64 = reports.iter().map(|r| r.mem_ops).sum();
+        let ops_per_sec = mem_ops as f64 / wall.max(1e-9);
+        println!(
+            "  {:<22} {:>9} mem-ops in {:>7.3}s  -> {:>12.0} ops/s",
+            scheme.name(),
+            mem_ops,
+            wall,
+            ops_per_sec
+        );
+        stats.push(SchemeStat {
+            scheme: scheme.name(),
+            mem_ops,
+            wall_seconds: wall,
+            ops_per_sec,
+        });
+    }
+    let total_wall = total_start.elapsed().as_secs_f64();
+    let total_ops: u64 = stats.iter().map(|s| s.mem_ops).sum();
+    let total_rate = total_ops as f64 / total_wall.max(1e-9);
+    println!(
+        "total: {total_ops} simulated mem-ops in {total_wall:.3}s -> {total_rate:.0} ops/s"
+    );
+
+    // Hand-rolled JSON: the vendored serde shim derives are no-ops, and the
+    // shape here is flat enough that formatting directly is clearer anyway.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"scale\": \"{}\",\n", scale_name(&opts)));
+    json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    json.push_str(&format!("  \"mem_ops_per_cell\": {},\n", opts.mem_ops));
+    json.push_str("  \"benches\": [");
+    for (i, b) in benches.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        json.push_str(&format!("\"{}\"", json_escape_free(b.name())));
+    }
+    json.push_str("],\n  \"schemes\": [\n");
+    for (i, s) in stats.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"mem_ops\": {}, \"wall_seconds\": {:.6}, \"mem_ops_per_sec\": {:.1}}}{}\n",
+            json_escape_free(s.scheme),
+            s.mem_ops,
+            s.wall_seconds,
+            s.ops_per_sec,
+            if i + 1 < stats.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"total_mem_ops\": {total_ops},\n"));
+    json.push_str(&format!("  \"total_wall_seconds\": {total_wall:.6},\n"));
+    json.push_str(&format!(
+        "  \"total_mem_ops_per_sec\": {total_rate:.1}\n"
+    ));
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_throughput.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("error: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

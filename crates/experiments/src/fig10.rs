@@ -10,7 +10,7 @@ use ir_oram::{Scheme, SimReport};
 use iroram_trace::Bench;
 
 use crate::render::{fmt_f, Table};
-use crate::runner::{geomean, perf_benches, run_scheme};
+use crate::runner::{geomean, perf_benches, run_matrix};
 use crate::ExpOptions;
 
 /// The schemes plotted in Fig. 10, in legend order.
@@ -48,13 +48,10 @@ impl Fig10Data {
     }
 }
 
-/// Runs all scheme × bench combinations.
+/// Runs all scheme × bench combinations (one parallel cell batch).
 pub fn collect(opts: &ExpOptions) -> Fig10Data {
     let benches = perf_benches();
-    let reports = FIG10_SCHEMES
-        .iter()
-        .map(|&s| run_scheme(opts, s, &benches))
-        .collect();
+    let reports = run_matrix(opts, &FIG10_SCHEMES, &benches);
     Fig10Data { benches, reports }
 }
 

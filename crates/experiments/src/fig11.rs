@@ -8,14 +8,15 @@
 use ir_oram::Scheme;
 
 use crate::render::{fmt_f, Table};
-use crate::runner::{geomean, perf_benches, run_scheme};
+use crate::runner::{geomean, perf_benches, run_matrix};
 use crate::ExpOptions;
 
 /// Builds the Fig. 11 table.
 pub fn run(opts: &ExpOptions) -> Table {
     let benches = perf_benches();
-    let base = run_scheme(opts, Scheme::LlcD, &benches);
-    let improved = run_scheme(opts, Scheme::IrAllocStashOnLlcD, &benches);
+    let mut rows = run_matrix(opts, &[Scheme::LlcD, Scheme::IrAllocStashOnLlcD], &benches);
+    let improved = rows.pop().expect("two scheme rows");
+    let base = rows.pop().expect("two scheme rows");
     let mut t = Table::new(
         "Fig. 11: IR-Stash+IR-Alloc speedup over the LLC-D baseline",
         ["Benchmark", "LLC-D cycles", "IR cycles", "speedup"],

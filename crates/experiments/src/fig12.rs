@@ -11,7 +11,7 @@ use iroram_protocol::{AllocPreset, ZAllocation};
 use iroram_trace::Bench;
 
 use crate::render::{fmt_f, fmt_pct, Table};
-use crate::runner::{geomean, perf_benches};
+use crate::runner::{geomean, par_map, perf_benches};
 use crate::ExpOptions;
 
 /// The four configurations of the study.
@@ -43,23 +43,32 @@ pub fn collect(opts: &ExpOptions) -> Vec<AllocOutcome> {
     } else {
         vec![Bench::Mcf, Bench::Lbm, Bench::Xz, Bench::Gcc]
     };
-    let base_cfg = opts.system(Scheme::Baseline);
-    let base: Vec<u64> = benches
-        .iter()
-        .map(|&b| {
-            ir_oram::Simulation::run_bench(&base_cfg, b, opts.limit()).cycles
-        })
+    // One parallel batch over every (config, bench) cell, Baseline
+    // included: row 0 is Baseline, rows 1..=4 the IR-Alloc presets.
+    let mut configs = vec![opts.system(Scheme::Baseline)];
+    for &(_, preset) in &CONFIGS {
+        let mut cfg = opts.system(Scheme::IrAlloc);
+        let top = cfg.oram.treetop.cached_levels();
+        cfg.oram.zalloc = ZAllocation::preset(preset, cfg.oram.levels, top);
+        configs.push(cfg);
+    }
+    let cells: Vec<(usize, Bench)> = (0..configs.len())
+        .flat_map(|c| benches.iter().map(move |&b| (c, b)))
         .collect();
+    let reports = par_map(opts.effective_jobs(), cells, |(c, b)| {
+        ir_oram::Simulation::run_bench(&configs[c], b, opts.limit())
+    });
+    let rows: Vec<&[ir_oram::SimReport]> = reports.chunks(benches.len()).collect();
+    let base: Vec<u64> = rows[0].iter().map(|r| r.cycles).collect();
     CONFIGS
         .iter()
-        .map(|&(name, preset)| {
-            let mut cfg = opts.system(Scheme::IrAlloc);
+        .enumerate()
+        .map(|(ci, &(name, _))| {
+            let cfg = &configs[ci + 1];
             let top = cfg.oram.treetop.cached_levels();
-            cfg.oram.zalloc = ZAllocation::preset(preset, cfg.oram.levels, top);
             let mut norms = Vec::new();
             let mut bg = 0.0;
-            for (i, &b) in benches.iter().enumerate() {
-                let r = ir_oram::Simulation::run_bench(&cfg, b, opts.limit());
+            for (i, r) in rows[ci + 1].iter().enumerate() {
                 norms.push(r.cycles as f64 / base[i].max(1) as f64);
                 bg += r.slots.bg_slots as f64 / r.slots.total_slots.max(1) as f64;
             }

@@ -8,14 +8,15 @@
 use ir_oram::Scheme;
 
 use crate::render::{fmt_f, Table};
-use crate::runner::{geomean, perf_benches, run_scheme};
+use crate::runner::{geomean, perf_benches, run_matrix};
 use crate::ExpOptions;
 
 /// `(bench, baseline posmap paths, irstash posmap paths)` rows.
 pub fn collect(opts: &ExpOptions) -> Vec<(String, u64, u64)> {
     let benches = perf_benches();
-    let base = run_scheme(opts, Scheme::Baseline, &benches);
-    let stash = run_scheme(opts, Scheme::IrStash, &benches);
+    let mut rows = run_matrix(opts, &[Scheme::Baseline, Scheme::IrStash], &benches);
+    let stash = rows.pop().expect("two scheme rows");
+    let base = rows.pop().expect("two scheme rows");
     benches
         .iter()
         .zip(base.iter().zip(stash.iter()))

@@ -8,15 +8,16 @@
 use ir_oram::Scheme;
 
 use crate::render::{fmt_pct, Table};
-use crate::runner::{perf_benches, run_scheme};
+use crate::runner::{perf_benches, run_matrix};
 use crate::ExpOptions;
 
 /// Per-benchmark slot shares `(name, real, bg, converted, dummy,
 /// baseline_dummy)`.
 pub fn collect(opts: &ExpOptions) -> Vec<(String, f64, f64, f64, f64, f64)> {
     let benches = perf_benches();
-    let base = run_scheme(opts, Scheme::Baseline, &benches);
-    let dwb = run_scheme(opts, Scheme::IrDwb, &benches);
+    let mut rows = run_matrix(opts, &[Scheme::Baseline, Scheme::IrDwb], &benches);
+    let dwb = rows.pop().expect("two scheme rows");
+    let base = rows.pop().expect("two scheme rows");
     benches
         .iter()
         .zip(base.iter().zip(dwb.iter()))

@@ -12,37 +12,45 @@ use iroram_sim_engine::stats::RunningStat;
 use iroram_trace::Bench;
 
 use crate::render::{fmt_f, Table};
+use crate::runner::par_map;
 use crate::ExpOptions;
 
 /// One scaling point: `(levels, mean speedup, stddev)`.
 pub fn collect(opts: &ExpOptions) -> Vec<(usize, f64, f64)> {
     let base_levels = opts.system(Scheme::Baseline).oram.levels;
-    [base_levels - 2, base_levels - 1, base_levels]
-        .into_iter()
-        .map(|levels| {
+    let sizes = [base_levels - 2, base_levels - 1, base_levels];
+    // Every (levels, trial) pair is one independent cell; the per-trial
+    // seed makes each cell self-contained, so the whole grid parallelizes.
+    let cells: Vec<(usize, u64)> = sizes
+        .iter()
+        .flat_map(|&levels| (0..opts.random_trials).map(move |t| (levels, t as u64)))
+        .collect();
+    let speedups = par_map(opts.effective_jobs(), cells, |(levels, trial)| {
+        let seed = opts.seed ^ ((trial + 1) << 8);
+        let make = |scheme| {
+            let mut cfg = opts.system(scheme);
+            cfg.oram.levels = levels;
+            cfg.oram.data_blocks = 1 << (levels + 1);
+            cfg.oram.zalloc = iroram_protocol::ZAllocation::uniform(levels, 4);
+            let top = (levels * 2 / 5).max(1);
+            cfg.oram.treetop = iroram_protocol::TreeTopMode::Dedicated { levels: top };
+            cfg.t_interval = ir_oram::SystemConfig::t_for(&cfg.oram);
+            cfg.seed = seed;
+            cfg.oram.seed = seed;
+            cfg.with_scheme(scheme)
+        };
+        let limit = opts.limit();
+        let base = Simulation::run_bench(&make(Scheme::Baseline), Bench::RandomUniform, limit);
+        let ir = Simulation::run_bench(&make(Scheme::IrAlloc), Bench::RandomUniform, limit);
+        ir.speedup_over(&base)
+    });
+    sizes
+        .iter()
+        .zip(speedups.chunks(opts.random_trials.max(1)))
+        .map(|(&levels, chunk)| {
             let mut stat = RunningStat::new();
-            for trial in 0..opts.random_trials {
-                let seed = opts.seed ^ ((trial as u64 + 1) << 8);
-                let make = |scheme| {
-                    let mut cfg = opts.system(scheme);
-                    cfg.oram.levels = levels;
-                    cfg.oram.data_blocks = 1 << (levels + 1);
-                    cfg.oram.zalloc =
-                        iroram_protocol::ZAllocation::uniform(levels, 4);
-                    let top = (levels * 2 / 5).max(1);
-                    cfg.oram.treetop =
-                        iroram_protocol::TreeTopMode::Dedicated { levels: top };
-                    cfg.t_interval = ir_oram::SystemConfig::t_for(&cfg.oram);
-                    cfg.seed = seed;
-                    cfg.oram.seed = seed;
-                    cfg.with_scheme(scheme)
-                };
-                let limit = opts.limit();
-                let base =
-                    Simulation::run_bench(&make(Scheme::Baseline), Bench::RandomUniform, limit);
-                let ir =
-                    Simulation::run_bench(&make(Scheme::IrAlloc), Bench::RandomUniform, limit);
-                stat.push(ir.speedup_over(&base));
+            for &s in chunk {
+                stat.push(s);
             }
             (levels, stat.mean(), stat.stddev())
         })

@@ -9,6 +9,7 @@ use iroram_trace::{Bench, WorkloadGen};
 
 use crate::fig3::Snapshot;
 use crate::render::{fmt_pct, Table};
+use crate::runner::par_map;
 use crate::ExpOptions;
 
 /// Utilization snapshots for one benchmark run.
@@ -40,10 +41,10 @@ pub fn collect(opts: &ExpOptions, bench: Bench) -> Vec<Snapshot> {
 /// lbm and the random trace.
 pub fn run(opts: &ExpOptions) -> Table {
     let benches = [Bench::Gcc, Bench::Lbm, Bench::RandomUniform];
-    let finals: Vec<(Bench, Snapshot)> = benches
-        .iter()
-        .map(|&b| (b, collect(opts, b).pop().expect("snapshots nonempty")))
-        .collect();
+    // Each benchmark's functional study is an independent cell.
+    let finals: Vec<(Bench, Snapshot)> = par_map(opts.effective_jobs(), benches.to_vec(), |b| {
+        (b, collect(opts, b).pop().expect("snapshots nonempty"))
+    });
     let mut headers = vec!["Level".to_owned()];
     headers.extend(finals.iter().map(|(b, _)| b.name().to_owned()));
     let mut t = Table::new(

@@ -34,4 +34,4 @@ pub mod table1;
 pub mod table2;
 
 pub use render::Table;
-pub use runner::{geomean, ExpOptions};
+pub use runner::{geomean, par_map, run_matrix, run_scheme, ExpOptions};

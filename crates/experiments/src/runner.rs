@@ -1,8 +1,33 @@
-//! Shared experiment plumbing: scaling options and batch runners.
+//! Shared experiment plumbing: scaling options, CLI parsing, and the
+//! parallel cell engine batch runners are built on.
+//!
+//! # The cell model
+//!
+//! Every figure/table decomposes into independent *simulation cells* — one
+//! `(scheme, bench, trial)` full-system run, or one functional study. Each
+//! cell derives **all** of its randomness from its own configuration seed
+//! (workload generation, ORAM remapping, initialization order), so cells
+//! share no mutable state and their results cannot depend on scheduling.
+//! [`par_map`] exploits that: it fans cells out across a worker pool and
+//! returns results in input order, making any `--jobs N` run bit-identical
+//! to the serial one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use ir_oram::{RunLimit, Scheme, SimReport, Simulation, SystemConfig};
 use iroram_protocol::{OramConfig, TreeTopMode, ZAllocation};
 use iroram_trace::Bench;
+
+/// Usage text shared by every experiment binary.
+pub const USAGE: &str = "\
+usage: <experiment> [--quick | --standard | --full] [--jobs N] [--csv DIR]
+  --quick      smoke-test scale (seconds for the whole suite)
+  --standard   the scale EXPERIMENTS.md records (default)
+  --full       larger runs for tighter statistics
+  --jobs N     worker threads for independent simulation cells
+               (0 or omitted = one per available core)
+  --csv DIR    also write each table as DIR/<name>.csv";
 
 /// Scaling knobs for the experiments.
 ///
@@ -24,6 +49,9 @@ pub struct ExpOptions {
     pub random_trials: usize,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads for independent simulation cells; `0` means one per
+    /// available core. Results are bit-identical for every value.
+    pub jobs: usize,
 }
 
 impl ExpOptions {
@@ -36,6 +64,7 @@ impl ExpOptions {
             funct_accesses_per_block: 4,
             random_trials: 2,
             seed: 0xE0,
+            jobs: 0,
         }
     }
 
@@ -48,6 +77,7 @@ impl ExpOptions {
             funct_accesses_per_block: 12,
             random_trials: 5,
             seed: 0xE0,
+            jobs: 0,
         }
     }
 
@@ -60,19 +90,80 @@ impl ExpOptions {
             funct_accesses_per_block: 24,
             random_trials: 13,
             seed: 0xE0,
+            jobs: 0,
         }
     }
 
-    /// Parses `--quick` / `--full` style CLI arguments (anything else keeps
-    /// the standard scale).
+    /// Parses the experiment CLI arguments, exiting with [`USAGE`] on
+    /// anything unrecognized.
     pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        if args.iter().any(|a| a == "--quick") {
-            ExpOptions::quick()
-        } else if args.iter().any(|a| a == "--full") {
-            ExpOptions::full()
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse(&args) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("error: {msg}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument list (`--quick`/`--standard`/`--full`, `--jobs N`,
+    /// `--csv DIR`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unrecognized argument or
+    /// malformed/missing flag value.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = ExpOptions::standard();
+        let mut jobs: Option<usize> = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => opts = ExpOptions::quick(),
+                "--standard" => opts = ExpOptions::standard(),
+                "--full" => opts = ExpOptions::full(),
+                "--jobs" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--jobs requires a value")?;
+                    jobs = Some(
+                        v.parse::<usize>()
+                            .map_err(|_| format!("--jobs expects a number, got `{v}`"))?,
+                    );
+                }
+                s if s.starts_with("--jobs=") => {
+                    let v = &s["--jobs=".len()..];
+                    jobs = Some(
+                        v.parse::<usize>()
+                            .map_err(|_| format!("--jobs expects a number, got `{v}`"))?,
+                    );
+                }
+                // The CSV directory itself is consumed by the binary
+                // harness (`iroram_bench::csv_dir`); validate its presence
+                // here so `--csv` without a directory fails loudly.
+                "--csv" => {
+                    i += 1;
+                    if args.get(i).is_none() {
+                        return Err("--csv requires a directory".to_owned());
+                    }
+                }
+                other => return Err(format!("unrecognized argument `{other}`")),
+            }
+            i += 1;
+        }
+        if let Some(j) = jobs {
+            opts.jobs = j;
+        }
+        Ok(opts)
+    }
+
+    /// The worker count [`par_map`] will actually use: `jobs`, or one per
+    /// available core when `jobs == 0`.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {
-            ExpOptions::standard()
+            self.jobs
         }
     }
 
@@ -132,6 +223,58 @@ impl Default for ExpOptions {
     }
 }
 
+/// Maps `f` over `items` on up to `jobs` worker threads, returning results
+/// in input order.
+///
+/// This is the experiment engine's only parallel primitive. It guarantees
+/// the output is **identical to the serial map for any worker count**: work
+/// is distributed dynamically (an atomic cursor), but each result lands in
+/// its input slot, and cells must not share mutable state (every simulation
+/// cell seeds its own RNGs from its config).
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` (after joining the pool).
+pub fn par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("cell mutex")
+                    .take()
+                    .expect("each cell claimed exactly once");
+                let result = f(item);
+                *out[i].lock().expect("slot mutex") = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot mutex")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
 /// The benchmark list used in the performance figures: Table II's thirteen
 /// plus the `mix` bar.
 pub fn perf_benches() -> Vec<Bench> {
@@ -140,13 +283,39 @@ pub fn perf_benches() -> Vec<Bench> {
     v
 }
 
-/// Runs one scheme across `benches`.
+/// Runs one scheme across `benches`, fanning the per-bench cells out over
+/// [`ExpOptions::effective_jobs`] workers.
 pub fn run_scheme(opts: &ExpOptions, scheme: Scheme, benches: &[Bench]) -> Vec<SimReport> {
     let cfg = opts.system(scheme);
-    benches
-        .iter()
-        .map(|&b| Simulation::run_bench(&cfg, b, opts.limit()))
-        .collect()
+    par_map(opts.effective_jobs(), benches.to_vec(), |b| {
+        Simulation::run_bench(&cfg, b, opts.limit())
+    })
+}
+
+/// Runs the full `schemes × benches` product as one parallel batch,
+/// returning reports indexed `[scheme][bench]`.
+///
+/// Prefer this over repeated [`run_scheme`] calls in figures that compare
+/// schemes: the whole matrix becomes one pool of cells, so workers stay
+/// busy across scheme boundaries.
+pub fn run_matrix(
+    opts: &ExpOptions,
+    schemes: &[Scheme],
+    benches: &[Bench],
+) -> Vec<Vec<SimReport>> {
+    let configs: Vec<SystemConfig> = schemes.iter().map(|&s| opts.system(s)).collect();
+    let cells: Vec<(usize, Bench)> = (0..schemes.len())
+        .flat_map(|s| benches.iter().map(move |&b| (s, b)))
+        .collect();
+    let reports = par_map(opts.effective_jobs(), cells, |(s, b)| {
+        Simulation::run_bench(&configs[s], b, opts.limit())
+    });
+    let mut rows: Vec<Vec<SimReport>> = Vec::with_capacity(schemes.len());
+    let mut it = reports.into_iter();
+    for _ in 0..schemes.len() {
+        rows.push(it.by_ref().take(benches.len()).collect());
+    }
+    rows
 }
 
 /// Geometric mean of positive values (0 for an empty slice).
@@ -160,6 +329,10 @@ pub fn geomean(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
 
     #[test]
     fn geomean_basics() {
@@ -190,5 +363,62 @@ mod tests {
         let b = perf_benches();
         assert_eq!(b.len(), 14);
         assert_eq!(*b.last().unwrap(), Bench::Mix);
+    }
+
+    #[test]
+    fn parse_scales_and_jobs() {
+        assert_eq!(ExpOptions::parse(&args(&[])).unwrap(), ExpOptions::standard());
+        assert_eq!(
+            ExpOptions::parse(&args(&["--quick"])).unwrap(),
+            ExpOptions::quick()
+        );
+        assert_eq!(
+            ExpOptions::parse(&args(&["--full"])).unwrap(),
+            ExpOptions::full()
+        );
+        let o = ExpOptions::parse(&args(&["--quick", "--jobs", "4"])).unwrap();
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.mem_ops, ExpOptions::quick().mem_ops);
+        let o = ExpOptions::parse(&args(&["--jobs=8"])).unwrap();
+        assert_eq!(o.jobs, 8);
+        // Scale flags keep a previously parsed --jobs.
+        let o = ExpOptions::parse(&args(&["--jobs", "3", "--quick"])).unwrap();
+        assert_eq!((o.jobs, o.mem_ops), (3, ExpOptions::quick().mem_ops));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_malformed() {
+        assert!(ExpOptions::parse(&args(&["--turbo"])).is_err());
+        assert!(ExpOptions::parse(&args(&["quick"])).is_err());
+        assert!(ExpOptions::parse(&args(&["--jobs"])).is_err());
+        assert!(ExpOptions::parse(&args(&["--jobs", "many"])).is_err());
+        assert!(ExpOptions::parse(&args(&["--csv"])).is_err());
+        assert!(ExpOptions::parse(&args(&["--csv", "out"])).is_ok());
+    }
+
+    #[test]
+    fn effective_jobs_resolves_auto() {
+        let mut o = ExpOptions::quick();
+        o.jobs = 0;
+        assert!(o.effective_jobs() >= 1);
+        o.jobs = 7;
+        assert_eq!(o.effective_jobs(), 7);
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let got = par_map(jobs, items.clone(), |x| x * x);
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map(4, empty, |x: u64| x).is_empty());
+        assert_eq!(par_map(4, vec![9u64], |x| x + 1), vec![10]);
     }
 }

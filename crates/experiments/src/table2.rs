@@ -9,6 +9,7 @@ use iroram_cache::MemoryHierarchy;
 use iroram_trace::{Bench, WorkloadGen, ALL_BENCHES};
 
 use crate::render::{fmt_f, Table};
+use crate::runner::par_map;
 use crate::ExpOptions;
 
 /// One benchmark's calibration outcome.
@@ -52,8 +53,11 @@ pub fn run(opts: &ExpOptions) -> Table {
         ],
     );
     let ops = (opts.mem_ops * 4).max(20_000);
-    for bench in ALL_BENCHES {
-        let m = measure(opts, bench, ops);
+    // Each benchmark's calibration stream is an independent cell.
+    let rows = par_map(opts.effective_jobs(), ALL_BENCHES.to_vec(), |bench| {
+        (bench, measure(opts, bench, ops))
+    });
+    for (bench, m) in rows {
         t.row([
             bench.name().to_owned(),
             fmt_f(m.read, 2),

@@ -12,7 +12,7 @@ use crate::posmap::PlbStatus;
 use crate::treetop::{DedicatedTreeTop, IrStashTop, TreeTopStore};
 use crate::{
     AddressSpace, BlockAddr, BlockKind, Leaf, OramTree, PathRecord, PathType, PosMapSystem,
-    ServedFrom, Stash, StoredBlock, TreeLayout, ZAllocation,
+    ServedFrom, Stash, StoredBlock, TreeLayout, WritebackPlan, ZAllocation,
 };
 
 /// Which tree-top store (if any) the controller uses.
@@ -264,6 +264,9 @@ pub struct PathOram {
     cipher: FeistelCipher,
     rng: SimRng,
     stats: ProtocolStats,
+    // Hot-loop scratch reused across path accesses (never logical state).
+    plan: WritebackPlan,
+    read_buf: Vec<StoredBlock>,
 }
 
 impl std::fmt::Debug for PathOram {
@@ -314,6 +317,8 @@ impl PathOram {
             top,
             escrow: HashMap::new(),
             rng,
+            plan: WritebackPlan::new(),
+            read_buf: Vec::new(),
             stats: ProtocolStats {
                 served_level: vec![0; cfg.levels],
                 ..ProtocolStats::default()
@@ -852,30 +857,45 @@ impl PathOram {
         let cached = self.top.as_ref().map_or(0, |t| t.cached_levels());
 
         // --- Read phase: pull the whole path into the stash. ---
+        // `read_buf` is controller-owned scratch: taking it out and putting
+        // it back keeps its capacity across path accesses, so memory levels
+        // are read without allocating.
+        let mut read_buf = std::mem::take(&mut self.read_buf);
         let mut found_level: Option<usize> = None;
         for level in 0..levels {
             let bucket = self.layout.bucket_on_path(leaf, level);
-            let blocks = if level < cached {
-                self.top
+            if level < cached {
+                let blocks = self
+                    .top
                     .as_mut()
                     .expect("cached levels imply a top store")
-                    .take_bucket(level, bucket)
-            } else {
-                let mut blocks = self.tree.take_bucket(level, bucket);
-                if self.cfg.encrypt_payloads {
-                    for b in &mut blocks {
-                        b.payload = self.cipher.decrypt(b.payload);
+                    .take_bucket(level, bucket);
+                for b in blocks {
+                    if Some(b.addr) == target {
+                        found_level = Some(level);
                     }
+                    self.stash.insert(b);
                 }
-                blocks
-            };
-            for b in blocks {
-                if Some(b.addr) == target {
-                    found_level = Some(level);
+            } else {
+                read_buf.clear();
+                self.tree.take_bucket_into(level, bucket, &mut read_buf);
+                for b in read_buf.drain(..) {
+                    let b = if self.cfg.encrypt_payloads {
+                        StoredBlock {
+                            payload: self.cipher.decrypt(b.payload),
+                            ..b
+                        }
+                    } else {
+                        b
+                    };
+                    if Some(b.addr) == target {
+                        found_level = Some(level);
+                    }
+                    self.stash.insert(b);
                 }
-                self.stash.insert(b);
             }
         }
+        self.read_buf = read_buf;
         self.stats.blocks_from_memory += self.layout.path_len_memory(cached);
 
         // --- Serve + remap phase (before the write phase, so payload
@@ -925,23 +945,33 @@ impl PathOram {
         }
 
         // --- Write phase: push stash blocks as deep as possible. ---
+        // The plan is controller-owned scratch too: its per-level vectors
+        // are refilled in place and drained below, so steady-state write
+        // phases reallocate nothing.
+        let mut plan = std::mem::take(&mut self.plan);
         let top_ref = self.top.as_deref();
-        let plan = self
-            .stash
-            .plan_writeback(&self.layout, leaf, 0, |level, b| {
-                if level < cached {
-                    // Bucket identity is irrelevant to both stores' accept
-                    // check (S-Stash keys on the block address).
-                    top_ref
-                        .expect("cached levels imply a top store")
-                        .can_accept(level, 0, b)
-                } else {
-                    true
-                }
-            });
-        for (level, mut blocks) in plan.into_iter().enumerate() {
+        self.stash
+            .plan_writeback_into(
+                &self.layout,
+                leaf,
+                0,
+                |level, b| {
+                    if level < cached {
+                        // Bucket identity is irrelevant to both stores' accept
+                        // check (S-Stash keys on the block address).
+                        top_ref
+                            .expect("cached levels imply a top store")
+                            .can_accept(level, 0, b)
+                    } else {
+                        true
+                    }
+                },
+                &mut plan,
+            );
+        for level in 0..plan.len() {
             let bucket = self.layout.bucket_on_path(leaf, level);
             if level < cached {
+                let blocks = std::mem::take(plan.level_mut(level));
                 let rejected = self
                     .top
                     .as_mut()
@@ -952,14 +982,16 @@ impl PathOram {
                     self.stash.insert(r);
                 }
             } else {
+                let blocks = plan.level_mut(level);
                 if self.cfg.encrypt_payloads {
-                    for b in &mut blocks {
+                    for b in blocks.iter_mut() {
                         b.payload = self.cipher.encrypt(b.payload);
                     }
                 }
-                self.tree.write_bucket(level, bucket, blocks);
+                self.tree.write_bucket_from(level, bucket, blocks);
             }
         }
+        self.plan = plan;
         self.stats.blocks_to_memory += self.layout.path_len_memory(cached);
 
         (PathRecord { leaf, ptype }, served, payload_out)

@@ -43,7 +43,7 @@ pub use controller::{AccessRecord, OramConfig, PathOram, ProtocolStats, RemapPol
 pub use invariants::InvariantError;
 pub use layout::TreeLayout;
 pub use posmap::{AddressSpace, PlbStatus, PosMapSystem, ENTRIES_PER_BLOCK};
-pub use stash::Stash;
+pub use stash::{Stash, WritebackPlan};
 pub use tree::OramTree;
 pub use treetop::{DedicatedTreeTop, IrStashTop, TreeTopStore};
 pub use types::{BlockAddr, BlockKind, Leaf, PathRecord, PathType, ServedFrom, StoredBlock};

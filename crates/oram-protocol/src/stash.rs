@@ -28,6 +28,76 @@ pub struct Stash {
     blocks: HashMap<u64, StoredBlock>,
     capacity: usize,
     max_occupancy: usize,
+    // Write-back planning scratch, kept across calls so the per-path hot
+    // loop allocates nothing. Not logical state: always left consistent but
+    // meaningless between calls.
+    cands: Vec<(u32, u64)>,
+    sorted: Vec<(u32, u64)>,
+    offsets: Vec<usize>,
+}
+
+/// A reusable write-back plan: the per-level block lists
+/// [`Stash::plan_writeback_into`] fills (index 0 = the plan's `top_level`).
+///
+/// Holding one plan per controller and re-filling it each path access keeps
+/// the write phase free of `Vec<Vec<_>>` churn: the inner vectors keep their
+/// capacity across accesses.
+#[derive(Debug, Clone, Default)]
+pub struct WritebackPlan {
+    levels: Vec<Vec<StoredBlock>>,
+    len: usize,
+}
+
+impl WritebackPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        WritebackPlan::default()
+    }
+
+    /// Number of levels in the current plan.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the current plan covers zero levels.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The blocks planned for plan level `i`.
+    pub fn level(&self, i: usize) -> &[StoredBlock] {
+        assert!(i < self.len, "plan level {i} out of range {}", self.len);
+        &self.levels[i]
+    }
+
+    /// Mutable access to plan level `i` (the write phase drains these).
+    pub fn level_mut(&mut self, i: usize) -> &mut Vec<StoredBlock> {
+        assert!(i < self.len, "plan level {i} out of range {}", self.len);
+        &mut self.levels[i]
+    }
+
+    /// Total blocks across all levels of the current plan.
+    pub fn total_planned(&self) -> usize {
+        self.levels[..self.len].iter().map(Vec::len).sum()
+    }
+
+    /// Clears the plan and sizes it to `n` levels, keeping allocations.
+    fn reset(&mut self, n: usize) {
+        if self.levels.len() < n {
+            self.levels.resize_with(n, Vec::new);
+        }
+        for lvl in &mut self.levels[..n] {
+            lvl.clear();
+        }
+        self.len = n;
+    }
+
+    /// Consumes the plan into plain per-level vectors (compatibility path
+    /// for callers that do not reuse plans).
+    fn into_level_vecs(mut self) -> Vec<Vec<StoredBlock>> {
+        self.levels.truncate(self.len);
+        self.levels
+    }
 }
 
 impl Stash {
@@ -38,6 +108,9 @@ impl Stash {
             blocks: HashMap::new(),
             capacity,
             max_occupancy: 0,
+            cands: Vec::new(),
+            sorted: Vec::new(),
+            offsets: Vec::new(),
         }
     }
 
@@ -118,27 +191,82 @@ impl Stash {
         layout: &TreeLayout,
         leaf: Leaf,
         top_level: usize,
-        mut may_place: impl FnMut(usize, &StoredBlock) -> bool,
+        may_place: impl FnMut(usize, &StoredBlock) -> bool,
     ) -> Vec<Vec<StoredBlock>> {
+        let mut plan = WritebackPlan::new();
+        self.plan_writeback_into(layout, leaf, top_level, may_place, &mut plan);
+        plan.into_level_vecs()
+    }
+
+    /// Allocation-free variant of [`Stash::plan_writeback`]: fills `plan`
+    /// in place, reusing both the plan's level vectors and the stash's
+    /// internal candidate scratch across calls.
+    ///
+    /// Candidates are ordered deepest-common-depth first (ties broken by
+    /// ascending address) via a counting sort over depths — the depth domain
+    /// is tiny (`layout.levels()`), so this replaces the old
+    /// `O(n log n)` comparison sort with `O(n + levels)` work plus small
+    /// per-depth address sorts that exist only to pin down a deterministic
+    /// total order (`HashMap` iteration order is arbitrary).
+    pub fn plan_writeback_into(
+        &mut self,
+        layout: &TreeLayout,
+        leaf: Leaf,
+        top_level: usize,
+        mut may_place: impl FnMut(usize, &StoredBlock) -> bool,
+        plan: &mut WritebackPlan,
+    ) {
         let levels = layout.levels();
-        // Candidate depths: deepest level each block may occupy on this path.
-        let mut cands: Vec<(usize, u64)> = self
-            .blocks
-            .values()
-            .map(|b| (layout.common_depth(b.leaf, leaf), b.addr.0))
-            .collect();
-        // Deepest-first; ties broken by address for determinism.
-        cands.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        let mut out: Vec<Vec<StoredBlock>> = vec![Vec::new(); levels - top_level];
+        plan.reset(levels - top_level);
+
+        // --- Counting sort of (common depth, addr), deepest depth first. ---
+        self.cands.clear();
+        self.offsets.clear();
+        self.offsets.resize(levels, 0);
+        for b in self.blocks.values() {
+            let depth = layout.common_depth(b.leaf, leaf);
+            self.offsets[depth] += 1;
+            self.cands.push((depth as u32, b.addr.0));
+        }
+        let n = self.cands.len();
+        let mut acc = 0usize;
+        for depth in (0..levels).rev() {
+            let count = self.offsets[depth];
+            self.offsets[depth] = acc;
+            acc += count;
+        }
+        self.sorted.clear();
+        self.sorted.resize(n, (0, 0));
+        for i in 0..n {
+            let (depth, addr) = self.cands[i];
+            let pos = self.offsets[depth as usize];
+            self.offsets[depth as usize] += 1;
+            self.sorted[pos] = (depth, addr);
+        }
+        // Pin the address order inside each depth segment: the scatter above
+        // preserved HashMap iteration order, which is arbitrary, and the
+        // greedy fill below must see one deterministic total order.
+        let mut seg = 0usize;
+        while seg < n {
+            let depth = self.sorted[seg].0;
+            let mut end = seg + 1;
+            while end < n && self.sorted[end].0 == depth {
+                end += 1;
+            }
+            self.sorted[seg..end].sort_unstable_by_key(|&(_, addr)| addr);
+            seg = end;
+        }
+
+        // --- Greedy deepest-first fill (unchanged placement rule). ---
         let mut cursor = 0usize;
         for level in (top_level..levels).rev() {
             let cap = layout.z_of(level) as usize;
-            let slot = &mut out[level - top_level];
+            let slot_idx = level - top_level;
             // Blocks with common depth ≥ level can live at `level` (or
             // deeper, but deeper levels were already filled).
-            while cursor < cands.len() && slot.len() < cap {
-                let (depth, addr) = cands[cursor];
-                if depth < level {
+            while cursor < n && plan.levels[slot_idx].len() < cap {
+                let (depth, addr) = self.sorted[cursor];
+                if (depth as usize) < level {
                     break;
                 }
                 cursor += 1;
@@ -146,33 +274,34 @@ impl Stash {
                 if !may_place(level, &block) {
                     continue; // skipped this round (e.g. S-Stash set full)
                 }
-                slot.push(self.blocks.remove(&addr).expect("candidate resident"));
+                let taken = self.blocks.remove(&addr).expect("candidate resident");
+                plan.levels[slot_idx].push(taken);
             }
             // Skipped blocks with depth ≥ level may still fit at a
             // shallower level; re-scan is handled by the shallower levels
             // because their depth also satisfies depth ≥ shallower level.
             // (cursor has moved past them, so re-insert logic below.)
-            if slot.len() < cap {
+            if plan.levels[slot_idx].len() < cap {
                 // Give passed-over candidates another chance at this level:
                 // they were skipped by may_place at deeper levels, or left
                 // behind by capacity; both remain eligible here.
                 for i in 0..cursor {
-                    if slot.len() >= cap {
+                    if plan.levels[slot_idx].len() >= cap {
                         break;
                     }
-                    let (depth, addr) = cands[i];
-                    if depth < level || !self.blocks.contains_key(&addr) {
+                    let (depth, addr) = self.sorted[i];
+                    if (depth as usize) < level || !self.blocks.contains_key(&addr) {
                         continue;
                     }
                     let block = self.blocks[&addr];
                     if !may_place(level, &block) {
                         continue;
                     }
-                    slot.push(self.blocks.remove(&addr).expect("candidate resident"));
+                    let taken = self.blocks.remove(&addr).expect("candidate resident");
+                    plan.levels[slot_idx].push(taken);
                 }
             }
         }
-        out
     }
 }
 
@@ -302,5 +431,71 @@ mod tests {
         let layout = layout4();
         let plan = s.plan_writeback(&layout, Leaf(0), 0, |_, _| true);
         assert!(plan.iter().all(Vec::is_empty));
+    }
+
+    /// Builds a populated stash from a deterministic pseudo-random mix.
+    fn mixed_stash(seed: u64, count: u64, leaves: u64) -> Stash {
+        let mut s = Stash::new(1024);
+        let mut x = seed;
+        for a in 0..count {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s.insert(blk(a, (x >> 33) % leaves));
+        }
+        s
+    }
+
+    #[test]
+    fn writeback_into_matches_allocating_variant() {
+        let layout = TreeLayout::new(ZAllocation::uniform(6, 4));
+        let leaves = layout.num_leaves();
+        let mut plan = WritebackPlan::new();
+        for seed in 1..6u64 {
+            let mut a = mixed_stash(seed, 120, leaves);
+            let mut b = a.clone();
+            let expect = a.plan_writeback(&layout, Leaf(seed % leaves), 1, |_, _| true);
+            b.plan_writeback_into(&layout, Leaf(seed % leaves), 1, |_, _| true, &mut plan);
+            assert_eq!(plan.len(), expect.len());
+            for (i, lvl) in expect.iter().enumerate() {
+                assert_eq!(plan.level(i), &lvl[..], "seed {seed} level {i}");
+            }
+            assert_eq!(plan.total_planned(), expect.iter().map(Vec::len).sum::<usize>());
+            assert_eq!(a.len(), b.len(), "both variants drain identically");
+        }
+    }
+
+    #[test]
+    fn writeback_reused_plan_is_deterministic() {
+        // The same stash contents must plan identically regardless of the
+        // HashMap's internal order or leftover scratch from earlier calls.
+        let layout = TreeLayout::new(ZAllocation::uniform(6, 2));
+        let leaves = layout.num_leaves();
+        let mut plan = WritebackPlan::new();
+        // Dirty the scratch with an unrelated big plan first.
+        let mut warmup = mixed_stash(99, 300, leaves);
+        warmup.plan_writeback_into(&layout, Leaf(0), 0, |_, _| true, &mut plan);
+
+        let run = |plan: &mut WritebackPlan| {
+            let mut s = Stash::new(1024);
+            // Insertion order differs from address order on purpose.
+            for &(a, l) in &[(9u64, 3u64), (2, 3), (7, 3), (1, 5), (4, 5), (3, 0)] {
+                s.insert(blk(a, l));
+            }
+            s.plan_writeback_into(&layout, Leaf(3), 0, |_, _| true, plan);
+            (0..plan.len()).map(|i| plan.level(i).to_vec()).collect::<Vec<_>>()
+        };
+        let first = run(&mut plan);
+        let mut fresh = WritebackPlan::new();
+        let second = run(&mut fresh);
+        assert_eq!(first, second);
+        // Within-depth ties must come out in ascending address order.
+        for lvl in &first {
+            for pair in lvl.windows(2) {
+                let d0 = layout.common_depth(pair[0].leaf, Leaf(3));
+                let d1 = layout.common_depth(pair[1].leaf, Leaf(3));
+                if d0 == d1 {
+                    assert!(pair[0].addr.0 < pair[1].addr.0);
+                }
+            }
+        }
     }
 }

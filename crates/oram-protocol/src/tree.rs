@@ -69,8 +69,16 @@ impl OramTree {
     /// (the read-path step: fetched blocks move to the stash, dummies are
     /// discarded).
     pub fn take_bucket(&mut self, level: usize, bucket: u64) -> Vec<StoredBlock> {
-        let z = self.layout.z_of(level);
         let mut out = Vec::new();
+        self.take_bucket_into(level, bucket, &mut out);
+        out
+    }
+
+    /// Like [`OramTree::take_bucket`] but appends into `out`, reusing its
+    /// capacity (the controller's per-path hot loop).
+    pub fn take_bucket_into(&mut self, level: usize, bucket: u64, out: &mut Vec<StoredBlock>) {
+        let z = self.layout.z_of(level);
+        let mut taken = 0u64;
         for s in 0..z {
             let idx = self.layout.slot_index(level, bucket, s);
             let slot = &mut self.slots[idx];
@@ -81,10 +89,10 @@ impl OramTree {
                     payload: slot.payload,
                 });
                 *slot = EMPTY_SLOT;
+                taken += 1;
             }
         }
-        self.used_per_level[level] -= out.len() as u64;
-        out
+        self.used_per_level[level] -= taken;
     }
 
     /// Overwrites bucket `(level, bucket)` with `blocks`, padding the rest
@@ -94,7 +102,17 @@ impl OramTree {
     ///
     /// Panics if more blocks than the bucket's capacity are supplied, or if
     /// any block's leaf path does not pass through this bucket.
-    pub fn write_bucket(&mut self, level: usize, bucket: u64, blocks: Vec<StoredBlock>) {
+    pub fn write_bucket(&mut self, level: usize, bucket: u64, mut blocks: Vec<StoredBlock>) {
+        self.write_bucket_from(level, bucket, &mut blocks);
+    }
+
+    /// Like [`OramTree::write_bucket`] but drains `blocks`, leaving its
+    /// capacity behind for the caller to reuse.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`OramTree::write_bucket`].
+    pub fn write_bucket_from(&mut self, level: usize, bucket: u64, blocks: &mut Vec<StoredBlock>) {
         let z = self.layout.z_of(level);
         assert!(
             blocks.len() <= z as usize,
@@ -127,6 +145,7 @@ impl OramTree {
             };
         }
         self.used_per_level[level] += blocks.len() as u64;
+        blocks.clear();
     }
 
     /// Non-destructive scan of a bucket's real blocks.

@@ -1,0 +1,327 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`/`iter_batched`, `Throughput`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros — as a
+//! plain wall-clock harness. No statistics machinery: each benchmark warms
+//! up, then runs timed batches for the configured measurement window and
+//! reports the mean time per iteration (plus throughput when declared).
+//! Good enough to compare hot-path kernels before/after within one machine.
+
+use std::time::{Duration, Instant};
+
+/// Per-element/byte throughput declaration (subset of
+/// `criterion::Throughput`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (subset of
+/// `criterion::BatchSize`). The shim times per-iteration regardless, so
+/// the variants only influence batching granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; batches of many iterations.
+    SmallInput,
+    /// Large setup output; smaller batches.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the total measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_one(&cfg, None, name, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        run_one(&cfg, Some(&self.name), name, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (printing is immediate; this is a no-op for layout
+    /// compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    /// Iterations to run in this timed sample.
+    iters: u64,
+    /// Accumulated busy time for this sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back invocations of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+fn run_sample<F>(f: &mut F, iters: u64) -> Duration
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_one<F>(
+    cfg: &Criterion,
+    group: Option<&str>,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_owned(),
+    };
+    // Warm-up while calibrating how many iterations fit a sample.
+    let mut iters_per_sample = 1u64;
+    let warm_start = Instant::now();
+    loop {
+        let t = run_sample(&mut f, iters_per_sample);
+        if warm_start.elapsed() >= cfg.warm_up_time {
+            // Aim each sample at measurement_time / sample_size.
+            let target = cfg.measurement_time.as_secs_f64() / cfg.sample_size as f64;
+            let per_iter = (t.as_secs_f64() / iters_per_sample as f64).max(1e-9);
+            iters_per_sample = ((target / per_iter).round() as u64).max(1);
+            break;
+        }
+        if t < Duration::from_millis(5) {
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+    }
+    let mut samples: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        let t = run_sample(&mut f, iters_per_sample);
+        samples.push(t.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    let mut line = format!(
+        "{label:<40} time: [{} {} {}]",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi)
+    );
+    if let Some(t) = throughput {
+        let (unit, count) = match t {
+            Throughput::Elements(n) => ("elem", n),
+            Throughput::Bytes(n) => ("B", n),
+        };
+        let rate = count as f64 / median;
+        line.push_str(&format!("  thrpt: {} {unit}/s", fmt_rate(rate)));
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Declares a benchmark group runner function (subset of criterion's
+/// macro: the `name/config/targets` form plus the simple list form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),* $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $( $target(&mut c); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iters_run() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1));
+        let mut total = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 2u64, |x| total += x, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_rate(2_000_000.0).ends_with('M'));
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names the workspace imports —
+//! both the marker traits (type namespace) and the no-op derive macros
+//! (macro namespace). No serialization framework is included; the
+//! workspace never serializes at runtime, the derives only declare intent.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

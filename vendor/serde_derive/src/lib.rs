@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The repository compiles in a hermetic environment with no registry
+//! access, and nothing in the workspace actually serializes at runtime
+//! (the derives only decorate simulator state so downstream consumers
+//! *could* serialize it). These derives therefore expand to nothing; the
+//! `#[serde(...)]` helper attribute is accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
