@@ -4,13 +4,64 @@
 use ir_oram::{RunLimit, Scheme, Simulation, SystemConfig};
 use iroram_trace::{Bench, ALL_BENCHES};
 
+const USAGE: &str = "\
+usage: diag [levels] [bench] [ops]
+  levels   ORAM tree height, 3..=24 (default 12)
+  bench    Table II benchmark name, e.g. gcc, mcf, lbm (default mcf)
+  ops      memory operations to replay, > 0 (default 6000)";
+
+struct Args {
+    levels: usize,
+    bench: Bench,
+    ops: u64,
+}
+
+/// Parses the positional arguments strictly: malformed values and excess
+/// arguments are errors, not silent fallbacks to the defaults.
+fn parse(args: &[String]) -> Result<Args, String> {
+    if args.len() > 3 {
+        return Err(format!("expected at most 3 arguments, got {}", args.len()));
+    }
+    let levels = match args.first() {
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|l| (3..=24).contains(l))
+            .ok_or_else(|| format!("levels must be an integer in 3..=24, got `{v}`"))?,
+        None => 12,
+    };
+    let bench = match args.get(1) {
+        Some(name) => ALL_BENCHES
+            .iter()
+            .copied()
+            .find(|b| b.name() == name.as_str())
+            .ok_or_else(|| {
+                let known: Vec<&str> = ALL_BENCHES.iter().map(|b| b.name()).collect();
+                format!("unknown bench `{name}` (known: {})", known.join(", "))
+            })?,
+        None => Bench::Mcf,
+    };
+    let ops = match args.get(2) {
+        Some(v) => v
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("ops must be a positive integer, got `{v}`"))?,
+        None => 6000,
+    };
+    Ok(Args { levels, bench, ops })
+}
+
 fn main() {
-    let levels: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
-    let bench = std::env::args()
-        .nth(2)
-        .and_then(|name| ALL_BENCHES.iter().copied().find(|b| b.name() == name))
-        .unwrap_or(Bench::Mcf);
-    let ops: u64 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(6000);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse(&raw) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let levels = args.levels;
     for scheme in [
         Scheme::Baseline,
         Scheme::Rho,
@@ -31,7 +82,7 @@ fn main() {
         );
         cfg.t_interval = SystemConfig::t_for(&cfg.oram);
         let cfg = cfg.with_scheme(scheme);
-        let r = Simulation::run_bench(&cfg, bench, RunLimit::mem_ops(ops));
+        let r = Simulation::run_bench(&cfg, args.bench, RunLimit::mem_ops(args.ops));
         let s = &r.slots;
         let p = &r.protocol;
         println!(

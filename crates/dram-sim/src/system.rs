@@ -147,6 +147,11 @@ pub struct DramSystem {
     cfg: DramConfig,
     channels: Vec<Channel>,
     stats: DramStats,
+    /// Count of completions computed earlier than their request's arrival.
+    /// A completion before arrival is a scheduler bug, not a zero-latency
+    /// request, so this is kept out of [`DramStats`] (it is not a property
+    /// of the modeled memory system) and asserted zero by the audit layer.
+    latency_underflows: u64,
 }
 
 impl DramSystem {
@@ -163,6 +168,7 @@ impl DramSystem {
             cfg,
             channels,
             stats: DramStats::default(),
+            latency_underflows: 0,
         }
     }
 
@@ -174,6 +180,12 @@ impl DramSystem {
     /// Lifetime statistics.
     pub fn stats(&self) -> &DramStats {
         &self.stats
+    }
+
+    /// Number of requests whose computed completion preceded their arrival.
+    /// Always zero for a correct scheduler; the audit layer asserts it.
+    pub fn latency_underflows(&self) -> u64 {
+        self.latency_underflows
     }
 
     /// Schedules a batch of requests, returning one [`Completion`] per
@@ -198,13 +210,19 @@ impl DramSystem {
             let ch = &mut self.channels[ch_idx];
             while !queue.is_empty() {
                 // FR-FCFS: among the window of oldest requests, pick the
-                // first row hit; otherwise the oldest.
+                // first row hit; otherwise the oldest. A hit may only be
+                // hoisted over the oldest request if it has arrived by the
+                // time the channel could start serving that oldest request —
+                // otherwise the channel would idle-wait on a future arrival
+                // while an already-arrived request sits queued (priority
+                // inversion that the latency-underflow audit flagged).
                 let scan = queue.len().min(window);
+                let hoist_gate = queue[0].1.arrival.max(ch.bus_free);
                 let pick = queue[..scan]
                     .iter()
                     .position(|(_, r)| {
                         let d = self.cfg.mapping.decode(r.line_addr);
-                        ch.banks[d.bank as usize].would_hit(d.row)
+                        r.arrival <= hoist_gate && ch.banks[d.bank as usize].would_hit(d.row)
                     })
                     .unwrap_or(0);
                 let (orig_idx, req) = queue.remove(pick);
@@ -244,7 +262,20 @@ impl DramSystem {
                 } else {
                     self.stats.row_conflicts += 1;
                 }
-                self.stats.total_latency += completion.saturating_sub(req.arrival).raw();
+                match completion.raw().checked_sub(req.arrival.raw()) {
+                    Some(lat) => self.stats.total_latency += lat,
+                    None => {
+                        // Completion before arrival means the scheduler
+                        // violated causality; record it for the audit
+                        // instead of silently clamping to zero latency.
+                        self.latency_underflows += 1;
+                        debug_assert!(
+                            false,
+                            "DRAM completion {completion} precedes arrival {}",
+                            req.arrival
+                        );
+                    }
+                }
                 self.stats.bus_busy_cycles += t.t_burst;
                 self.stats.last_completion = self.stats.last_completion.max(completion.raw());
                 out.push(Completion {
@@ -413,6 +444,37 @@ mod tests {
     fn empty_batch_done_returns_at() {
         let mut d = sys();
         assert_eq!(d.schedule_batch_done(&[], Cycle(42)), Cycle(42));
+    }
+
+    #[test]
+    fn frfcfs_does_not_hoist_future_arrivals() {
+        // Regression: the row-hit preference used to ignore arrival times,
+        // so a row hit arriving far in the future was hoisted over an
+        // already-arrived older request, stalling the channel (and inflating
+        // the older request's latency by the whole wait).
+        let mapping = AddressMapping::new(1, 1, 16, Interleave::CacheLine);
+        let cfg = DramConfig {
+            mapping,
+            reorder_window: 8,
+            ..DramConfig::default()
+        };
+        let mut d = DramSystem::new(cfg);
+        // Open row 0.
+        d.schedule_batch(&[MemRequest::read(0, Cycle(0))]);
+        // Oldest request targets row 1 and has arrived; a row-0 hit arrives
+        // only at cycle 10 000. FCFS order must win: the arrived request is
+        // served first and completes long before the future arrival.
+        let done = d.schedule_batch(&[
+            MemRequest::read(16, Cycle(0)),
+            MemRequest::read(1, Cycle(10_000)),
+        ]);
+        assert!(
+            done[0].completion < Cycle(10_000),
+            "arrived request was stalled behind a future arrival: {}",
+            done[0].completion
+        );
+        assert!(done[1].completion > Cycle(10_000));
+        assert_eq!(d.latency_underflows(), 0);
     }
 
     #[test]

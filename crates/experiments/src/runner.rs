@@ -21,13 +21,15 @@ use iroram_trace::Bench;
 
 /// Usage text shared by every experiment binary.
 pub const USAGE: &str = "\
-usage: <experiment> [--quick | --standard | --full] [--jobs N] [--csv DIR]
+usage: <experiment> [--quick | --standard | --full] [--jobs N] [--csv DIR] [--audit]
   --quick      smoke-test scale (seconds for the whole suite)
   --standard   the scale EXPERIMENTS.md records (default)
   --full       larger runs for tighter statistics
   --jobs N     worker threads for independent simulation cells
                (0 or omitted = one per available core)
-  --csv DIR    also write each table as DIR/<name>.csv";
+  --csv DIR    also write each table as DIR/<name>.csv
+  --audit      run every cell with the audit subsystem on and abort on any
+               violation (results are identical; audits observe only)";
 
 /// Scaling knobs for the experiments.
 ///
@@ -52,6 +54,9 @@ pub struct ExpOptions {
     /// Worker threads for independent simulation cells; `0` means one per
     /// available core. Results are bit-identical for every value.
     pub jobs: usize,
+    /// Run each timed cell with the audit subsystem enabled, aborting on
+    /// the first cell reporting violations.
+    pub audit: bool,
 }
 
 impl ExpOptions {
@@ -65,6 +70,7 @@ impl ExpOptions {
             random_trials: 2,
             seed: 0xE0,
             jobs: 0,
+            audit: false,
         }
     }
 
@@ -78,6 +84,7 @@ impl ExpOptions {
             random_trials: 5,
             seed: 0xE0,
             jobs: 0,
+            audit: false,
         }
     }
 
@@ -91,6 +98,7 @@ impl ExpOptions {
             random_trials: 13,
             seed: 0xE0,
             jobs: 0,
+            audit: false,
         }
     }
 
@@ -117,9 +125,11 @@ impl ExpOptions {
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut opts = ExpOptions::standard();
         let mut jobs: Option<usize> = None;
+        let mut audit = false;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
+                "--audit" => audit = true,
                 "--quick" => opts = ExpOptions::quick(),
                 "--standard" => opts = ExpOptions::standard(),
                 "--full" => opts = ExpOptions::full(),
@@ -154,6 +164,7 @@ impl ExpOptions {
         if let Some(j) = jobs {
             opts.jobs = j;
         }
+        opts.audit |= audit;
         Ok(opts)
     }
 
@@ -187,6 +198,7 @@ impl ExpOptions {
             );
             cfg.t_interval = SystemConfig::t_for(&cfg.oram);
         }
+        cfg.audit = self.audit;
         cfg.with_scheme(scheme)
     }
 
@@ -283,12 +295,37 @@ pub fn perf_benches() -> Vec<Bench> {
     v
 }
 
+/// Runs one timed cell. When `cfg.audit` is set the cell runs with the
+/// audit subsystem on and **panics** on any violation (so `--audit` runs
+/// abort loudly instead of publishing figures from a corrupted simulation);
+/// the report itself is identical either way.
+///
+/// # Panics
+///
+/// Panics when auditing is enabled and the run reports violations.
+pub fn run_cell(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> SimReport {
+    if !cfg.audit {
+        return Simulation::run_bench(cfg, bench, limit);
+    }
+    let (report, audit) = Simulation::run_bench_audited(cfg, bench, limit);
+    let audit = audit.expect("audit enabled in config");
+    assert!(
+        audit.is_clean(),
+        "audit: {} violation(s) in {} on {} (first: {})",
+        audit.violations,
+        cfg.scheme.name(),
+        bench.name(),
+        audit.samples.first().map_or("<none>", String::as_str),
+    );
+    report
+}
+
 /// Runs one scheme across `benches`, fanning the per-bench cells out over
 /// [`ExpOptions::effective_jobs`] workers.
 pub fn run_scheme(opts: &ExpOptions, scheme: Scheme, benches: &[Bench]) -> Vec<SimReport> {
     let cfg = opts.system(scheme);
     par_map(opts.effective_jobs(), benches.to_vec(), |b| {
-        Simulation::run_bench(&cfg, b, opts.limit())
+        run_cell(&cfg, b, opts.limit())
     })
 }
 
@@ -308,7 +345,7 @@ pub fn run_matrix(
         .flat_map(|s| benches.iter().map(move |&b| (s, b)))
         .collect();
     let reports = par_map(opts.effective_jobs(), cells, |(s, b)| {
-        Simulation::run_bench(&configs[s], b, opts.limit())
+        run_cell(&configs[s], b, opts.limit())
     });
     let mut rows: Vec<Vec<SimReport>> = Vec::with_capacity(schemes.len());
     let mut it = reports.into_iter();
@@ -384,6 +421,19 @@ mod tests {
         // Scale flags keep a previously parsed --jobs.
         let o = ExpOptions::parse(&args(&["--jobs", "3", "--quick"])).unwrap();
         assert_eq!((o.jobs, o.mem_ops), (3, ExpOptions::quick().mem_ops));
+    }
+
+    #[test]
+    fn parse_audit_flag() {
+        assert!(!ExpOptions::parse(&args(&[])).unwrap().audit);
+        let o = ExpOptions::parse(&args(&["--audit"])).unwrap();
+        assert!(o.audit);
+        // Scale flags keep a previously parsed --audit.
+        let o = ExpOptions::parse(&args(&["--audit", "--quick"])).unwrap();
+        assert!(o.audit && o.mem_ops == ExpOptions::quick().mem_ops);
+        // ...and it propagates into the cell configs.
+        assert!(o.system(Scheme::Baseline).audit);
+        assert!(!ExpOptions::quick().system(Scheme::IrOram).audit);
     }
 
     #[test]

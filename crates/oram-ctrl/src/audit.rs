@@ -1,0 +1,270 @@
+//! The always-available audit subsystem: a differential functional oracle
+//! plus timing, DRAM-conservation, cache-coherence and structural audits.
+//!
+//! Enabled by [`crate::SystemConfig::audit`]; the controllers then thread an
+//! [`AuditState`] through every access. The audits **observe only** — they
+//! never write payloads, draw randomness, touch statistics, or change
+//! timing — so a run with auditing on is bit-identical (in every reported
+//! number) to the same run with auditing off.
+//!
+//! What is checked, and the paper invariant each check guards:
+//!
+//! * **Functional oracle** — a plain `addr → payload` shadow map. The first
+//!   time the ORAM serves a block the oracle learns its payload; every later
+//!   serve must return the same value (payloads are conserved across path
+//!   remaps, escrow round-trips and tree-top migration). This is Path
+//!   ORAM's basic storage contract \[27\].
+//! * **Timing schedule** — with timing protection on, slot `k+1` must issue
+//!   at exactly `max(t_k + T, read-phase completion of slot k)` for every
+//!   scheme: the obliviousness contract (one indistinguishable path per `T`,
+//!   paced only by the public occupancy rule).
+//! * **DRAM conservation** — every path access issues exactly `Σ Z_l` line
+//!   reads plus `Σ Z_l` line writes for the configured `ZAllocation`
+//!   (IR-Alloc's path-length accounting, Section IV-C), and the DRAM model
+//!   never completes a request before its arrival.
+//! * **Structural audits** — periodically (and at end of run) the whole
+//!   protocol state is swept by `PathOram::check_invariants`: single
+//!   residence, path/leaf consistency, escrow exclusivity, per-level bucket
+//!   `Z` bounds, and the tree-top store's internal coherence (S-Stash
+//!   TT-pointer ↔ entry agreement).
+//! * **IR-DWB coherence** — the dirty-LRU scanner's candidate/lock state
+//!   must always agree with the engine's victim and with the LLC's view of
+//!   the line (checked every slot via `DwbEngine::check_coherence`).
+
+use std::collections::HashMap;
+
+use iroram_sim_engine::Cycle;
+
+/// How many violation messages are stored verbatim (the count is exact;
+/// only the sample list is capped).
+const MAX_SAMPLES: usize = 32;
+
+/// Slots between whole-structure invariant sweeps.
+pub(crate) const STRUCTURAL_PERIOD: u64 = 256;
+
+/// Audit results for one run (merged across controllers for ρ's two trees).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Individual checks performed.
+    pub checks: u64,
+    /// Checks that failed.
+    pub violations: u64,
+    /// Up to [`MAX_SAMPLES`] violation messages, in discovery order.
+    pub samples: Vec<String>,
+}
+
+impl AuditReport {
+    /// Whether every check passed.
+    pub fn is_clean(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Per-controller audit state (see the module docs for the check list).
+#[derive(Debug, Default)]
+pub(crate) struct AuditState {
+    /// The functional oracle: block address → last known payload.
+    oracle: HashMap<u64, u64>,
+    /// Expected issue time of the next slot (None before the first slot or
+    /// when timing protection is off).
+    expected_slot: Option<Cycle>,
+    /// DRAM latency underflows already reported (the counter is cumulative).
+    seen_underflows: u64,
+    /// Slots processed (drives the periodic structural sweep).
+    slots: u64,
+    checks: u64,
+    violations: u64,
+    samples: Vec<String>,
+}
+
+impl AuditState {
+    pub(crate) fn new() -> Self {
+        AuditState::default()
+    }
+
+    /// Records a failed check.
+    pub(crate) fn violation(&mut self, msg: String) {
+        self.checks += 1;
+        self.violations += 1;
+        if self.samples.len() < MAX_SAMPLES {
+            self.samples.push(msg);
+        }
+    }
+
+    /// Records a passed check.
+    pub(crate) fn passed(&mut self) {
+        self.checks += 1;
+    }
+
+    /// Oracle check: the ORAM served `addr` with payload `got`. Learns the
+    /// value on first sight, compares on every later serve.
+    pub(crate) fn oracle_read(&mut self, addr: u64, got: u64) {
+        self.checks += 1;
+        match self.oracle.insert(addr, got) {
+            Some(expected) if expected != got => {
+                self.violations += 1;
+                if self.samples.len() < MAX_SAMPLES {
+                    self.samples.push(format!(
+                        "oracle: blk#{addr} served payload {got:#x}, shadow map holds {expected:#x}"
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Timing-schedule check for a slot issued at `t`. `read_floor` is the
+    /// CPU-clock completion of this slot's read phase (the public occupancy
+    /// floor for the next slot). With `tp` off there is no schedule.
+    pub(crate) fn note_slot(&mut self, t: Cycle, t_interval: u64, read_floor: Cycle, tp: bool) {
+        if !tp {
+            self.expected_slot = None;
+            return;
+        }
+        self.checks += 1;
+        if let Some(expected) = self.expected_slot {
+            if t != expected {
+                self.violations += 1;
+                if self.samples.len() < MAX_SAMPLES {
+                    self.samples.push(format!(
+                        "timing: slot issued at {t}, schedule requires exactly {expected}"
+                    ));
+                }
+            }
+        }
+        self.expected_slot = Some((t + t_interval).max(read_floor));
+    }
+
+    /// DRAM-conservation check for one finished path: the path touched
+    /// `got_lines` memory slots (`expected_lines` per the `ZAllocation`),
+    /// the DRAM request counter grew by `dram_delta`, and the DRAM model has
+    /// seen `underflows` completion-before-arrival events in total.
+    pub(crate) fn check_conservation(
+        &mut self,
+        got_lines: u64,
+        expected_lines: u64,
+        dram_delta: u64,
+        underflows: u64,
+    ) {
+        if got_lines == expected_lines {
+            self.passed();
+        } else {
+            self.violation(format!(
+                "conservation: path touched {got_lines} memory slots, Z allocation sums to {expected_lines}"
+            ));
+        }
+        if dram_delta == 2 * got_lines {
+            self.passed();
+        } else {
+            self.violation(format!(
+                "conservation: path issued {dram_delta} DRAM requests, expected {} (one read + one write per slot)",
+                2 * got_lines
+            ));
+        }
+        if underflows > self.seen_underflows {
+            self.violation(format!(
+                "dram: {} request(s) completed before their arrival cycle",
+                underflows - self.seen_underflows
+            ));
+            self.seen_underflows = underflows;
+        }
+    }
+
+    /// Counts a processed slot; true when a periodic structural sweep is
+    /// due.
+    pub(crate) fn structural_due(&mut self) -> bool {
+        self.slots += 1;
+        self.slots % STRUCTURAL_PERIOD == 0
+    }
+
+    /// Folds a structural invariant-check result in, labelling failures
+    /// with `what` (e.g. "main tree").
+    pub(crate) fn note_structural<E: std::fmt::Display>(
+        &mut self,
+        what: &str,
+        result: Result<(), E>,
+    ) {
+        match result {
+            Ok(()) => self.passed(),
+            Err(e) => self.violation(format!("structure ({what}): {e}")),
+        }
+    }
+
+    /// The report so far.
+    pub(crate) fn report(&self) -> AuditReport {
+        AuditReport {
+            checks: self.checks,
+            violations: self.violations,
+            samples: self.samples.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_learns_then_detects_divergence() {
+        let mut a = AuditState::new();
+        a.oracle_read(7, 0xAB);
+        a.oracle_read(7, 0xAB);
+        assert_eq!(a.report().violations, 0);
+        a.oracle_read(7, 0xCD);
+        let r = a.report();
+        assert_eq!(r.violations, 1);
+        assert!(r.samples[0].contains("blk#7"));
+        // The oracle tracks the served value, so a repeat of the new value
+        // is consistent again (one corruption event, not a cascade).
+        a.oracle_read(7, 0xCD);
+        assert_eq!(a.report().violations, 1);
+    }
+
+    #[test]
+    fn timing_audit_requires_exact_schedule() {
+        let mut a = AuditState::new();
+        let t = 100;
+        a.note_slot(Cycle(100), t, Cycle(150), true);
+        // Next slot must be max(100+100, 150) = 200.
+        a.note_slot(Cycle(200), t, Cycle(350), true);
+        assert_eq!(a.report().violations, 0);
+        // Occupancy floor dominates: expected 350, not 300.
+        a.note_slot(Cycle(300), t, Cycle(0), true);
+        assert_eq!(a.report().violations, 1);
+        assert!(a.report().samples[0].contains("timing"));
+    }
+
+    #[test]
+    fn timing_audit_disabled_without_protection() {
+        let mut a = AuditState::new();
+        a.note_slot(Cycle(100), 100, Cycle(0), false);
+        a.note_slot(Cycle(777), 100, Cycle(0), false);
+        assert_eq!(a.report().checks, 0);
+    }
+
+    #[test]
+    fn conservation_audit_checks_both_ledgers() {
+        let mut a = AuditState::new();
+        a.check_conservation(36, 36, 72, 0);
+        assert!(a.report().is_clean());
+        a.check_conservation(35, 36, 70, 0);
+        assert_eq!(a.report().violations, 1);
+        a.check_conservation(36, 36, 71, 0);
+        assert_eq!(a.report().violations, 2);
+        // Underflows report once per new event, not per path.
+        a.check_conservation(36, 36, 72, 2);
+        a.check_conservation(36, 36, 72, 2);
+        assert_eq!(a.report().violations, 3);
+    }
+
+    #[test]
+    fn sample_list_is_capped_but_count_exact() {
+        let mut a = AuditState::new();
+        for i in 0..100 {
+            a.violation(format!("v{i}"));
+        }
+        let r = a.report();
+        assert_eq!(r.violations, 100);
+        assert_eq!(r.samples.len(), MAX_SAMPLES);
+    }
+}

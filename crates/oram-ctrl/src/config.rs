@@ -106,6 +106,12 @@ pub struct SystemConfig {
     pub subtree_group: u32,
     /// Seed for all stochastic components.
     pub seed: u64,
+    /// Run the audit subsystem (functional oracle, timing / conservation /
+    /// structural / IR-DWB coherence checks — see [`crate::AuditReport`]).
+    /// Audits observe only: every reported number is identical with this
+    /// flag on or off.
+    #[serde(default)]
+    pub audit: bool,
 }
 
 impl SystemConfig {
@@ -152,6 +158,7 @@ impl SystemConfig {
             decrypt_lat: 50,
             subtree_group: 4,
             seed: 0x1235,
+            audit: false,
         };
         base.with_scheme(scheme)
     }

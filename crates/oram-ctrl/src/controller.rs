@@ -8,6 +8,7 @@ use iroram_dram::{DramSystem, MemRequest, SubtreeLayout};
 use iroram_protocol::{BlockAddr, PathOram, PathRecord, RemapPolicy};
 use iroram_sim_engine::{ClockRatio, Cycle};
 
+use crate::audit::{AuditReport, AuditState};
 use crate::{DwbEngine, SystemConfig};
 
 /// Identifier of an in-flight ORAM request.
@@ -80,6 +81,7 @@ pub struct TimedController {
     completions: Vec<(ReqId, Cycle)>,
     slot_stats: SlotStats,
     last_write_done: Cycle,
+    audit: Option<Box<AuditState>>,
 }
 
 impl TimedController {
@@ -121,6 +123,25 @@ impl TimedController {
             completions: Vec::new(),
             slot_stats: SlotStats::default(),
             last_write_done: Cycle::ZERO,
+            audit: cfg.audit.then(|| Box::new(AuditState::new())),
+        }
+    }
+
+    /// The audit results so far (None unless `cfg.audit` was set).
+    pub fn audit_report(&self) -> Option<AuditReport> {
+        self.audit.as_ref().map(|a| a.report())
+    }
+
+    /// End-of-run audit: a final whole-structure sweep plus IR-DWB
+    /// coherence. No-op when auditing is off.
+    pub fn final_audit(&mut self, hierarchy: &MemoryHierarchy) {
+        let Some(audit) = &mut self.audit else { return };
+        audit.note_structural("protocol", self.protocol.check_invariants());
+        if let Some(dwb) = &self.dwb {
+            match dwb.check_coherence(hierarchy) {
+                Ok(()) => audit.passed(),
+                Err(e) => audit.violation(format!("dwb: {e}")),
+            }
         }
     }
 
@@ -156,9 +177,11 @@ impl TimedController {
     /// escrow, S-Stash). On a hit returns the completion time; the request
     /// never consumes a path slot.
     pub fn front_try(&mut self, addr: BlockAddr, now: Cycle) -> Option<Cycle> {
-        self.protocol
-            .front_access(addr, None)
-            .map(|_| now + self.front_hit_lat)
+        let (_, payload) = self.protocol.front_access(addr, None)?;
+        if let Some(audit) = &mut self.audit {
+            audit.oracle_read(addr.0, payload);
+        }
+        Some(now + self.front_hit_lat)
     }
 
     /// Submits a demand request (the caller should have tried
@@ -180,13 +203,18 @@ impl TimedController {
                     // The ORAM write access; nobody waits on it. If the
                     // block is still in an on-chip store, the write merges
                     // for free.
-                    if self.protocol.front_access(addr, None).is_none() {
-                        self.queue.push_back(OramRequest {
+                    match self.protocol.front_access(addr, None) {
+                        Some((_, payload)) => {
+                            if let Some(audit) = &mut self.audit {
+                                audit.oracle_read(addr.0, payload);
+                            }
+                        }
+                        None => self.queue.push_back(OramRequest {
                             id,
                             addr,
                             arrival: now,
                             blocking: false,
-                        });
+                        }),
                     }
                 }
             }
@@ -262,6 +290,19 @@ impl TimedController {
     /// Issues one slot. Public for lock-step tests; normal callers use the
     /// `advance_*` methods.
     pub fn process_slot(&mut self, hierarchy: &mut MemoryHierarchy) {
+        if let Some(audit) = &mut self.audit {
+            // IR-DWB state is quiescent between slots: victim, scanner lock
+            // and the LLC's dirty bit must agree.
+            if let Some(dwb) = &self.dwb {
+                match dwb.check_coherence(hierarchy) {
+                    Ok(()) => audit.passed(),
+                    Err(e) => audit.violation(format!("dwb: {e}")),
+                }
+            }
+            if audit.structural_due() {
+                audit.note_structural("protocol", self.protocol.check_invariants());
+            }
+        }
         let t = self.next_slot;
         let mut issued: Option<PathRecord> = None;
         let mut completes: Option<ReqId> = None;
@@ -273,6 +314,9 @@ impl TimedController {
                 Some(Work::Request { req, mut pm }) => {
                     if let Some(pm_addr) = pm.pop_front() {
                         let rec = self.protocol.fetch_posmap_block(pm_addr);
+                        if let Some(audit) = &mut self.audit {
+                            audit.oracle_read(pm_addr.0, rec.payload);
+                        }
                         self.current = Some(Work::Request { req, pm });
                         if let Some(&p) = rec.paths.first() {
                             issued = Some(p);
@@ -284,13 +328,19 @@ impl TimedController {
                     // already escrowed (fetched by an earlier request under
                     // delayed remapping) or back on-chip — serve it for
                     // free.
-                    if self.protocol.front_access(req.addr, None).is_some() {
+                    if let Some((_, payload)) = self.protocol.front_access(req.addr, None) {
+                        if let Some(audit) = &mut self.audit {
+                            audit.oracle_read(req.addr.0, payload);
+                        }
                         if req.blocking {
                             self.completions.push((req.id, t + self.front_hit_lat));
                         }
                         continue;
                     }
                     let rec = self.protocol.data_access(req.addr, None);
+                    if let Some(audit) = &mut self.audit {
+                        audit.oracle_read(req.addr.0, rec.payload);
+                    }
                     match rec.paths.first() {
                         Some(&p) => {
                             issued = Some(p);
@@ -311,6 +361,9 @@ impl TimedController {
                 Some(Work::DelayedWb { addr, mut pm }) => {
                     if let Some(pm_addr) = pm.pop_front() {
                         let rec = self.protocol.fetch_posmap_block(pm_addr);
+                        if let Some(audit) = &mut self.audit {
+                            audit.oracle_read(pm_addr.0, rec.payload);
+                        }
                         self.current = Some(Work::DelayedWb { addr, pm });
                         if let Some(&p) = rec.paths.first() {
                             issued = Some(p);
@@ -395,6 +448,7 @@ impl TimedController {
     /// Schedules the path's DRAM traffic and advances the slot clock.
     fn finish_path(&mut self, t: Cycle, path: PathRecord, completes: Option<ReqId>) {
         let lines = self.layout_mem.path_slots(path.leaf.0, 0);
+        let req_before = self.dram.stats().requests;
         let arrival = self.clock.fast_to_slow(t);
         let reads: Vec<MemRequest> = lines
             .iter()
@@ -411,6 +465,21 @@ impl TimedController {
         self.last_write_done = self.last_write_done.max(write_done_cpu);
         if let Some(id) = completes {
             self.completions.push((id, read_done_cpu));
+        }
+        if let Some(audit) = &mut self.audit {
+            let cached = self.protocol.config().treetop.cached_levels();
+            audit.note_slot(
+                t,
+                self.t_interval,
+                self.clock.slow_to_fast(read_done),
+                self.timing_protection,
+            );
+            audit.check_conservation(
+                lines.len() as u64,
+                self.protocol.layout().path_len_memory(cached),
+                self.dram.stats().requests - req_before,
+                self.dram.latency_underflows(),
+            );
         }
         // Fixed rate with the occupancy constraint: the controller finishes
         // a path's read phase before issuing the next path; the write phase

@@ -28,12 +28,23 @@ pub struct DwbStats {
 }
 
 /// The dummy-to-write-back conversion engine.
+///
+/// The victim lifecycle is single-owner: a sequence begins only in
+/// [`DwbEngine::adopt`] (which locks the scanner's candidate) and ends only
+/// in [`DwbEngine::abort_sequence`] or [`DwbEngine::complete_sequence`], so
+/// every started sequence is counted exactly once as completed or aborted —
+/// [`DwbEngine::check_coherence`] asserts this ledger together with the
+/// engine↔scanner `Ptr`/lock agreement.
 #[derive(Debug)]
 pub struct DwbEngine {
     scanner: DirtyLruScanner,
     /// The locked victim of an in-flight sequence (the paper's `Ptr` +
     /// `Stage != 0` condition).
     victim: Option<BlockAddr>,
+    /// Sequences ever started (victims locked). Not part of the serialized
+    /// [`DwbStats`]; the audit checks
+    /// `started == completed + aborted + in-flight`.
+    started: u64,
     stats: DwbStats,
     rng: SimRng,
 }
@@ -44,6 +55,7 @@ impl DwbEngine {
         DwbEngine {
             scanner: DirtyLruScanner::new(),
             victim: None,
+            started: 0,
             stats: DwbStats::default(),
             rng: SimRng::seed_from(seed ^ 0xD3B),
         }
@@ -54,15 +66,91 @@ impl DwbEngine {
         &self.stats
     }
 
+    /// The locked victim of the in-flight sequence, if any (audit hook).
+    pub fn victim(&self) -> Option<BlockAddr> {
+        self.victim
+    }
+
+    /// Total write-back sequences ever started (audit hook).
+    pub fn sequences_started(&self) -> u64 {
+        self.started
+    }
+
+    /// Starts a sequence on the scanner's current candidate: the one place
+    /// a victim is adopted and the scanner locked.
+    fn adopt(&mut self, candidate: u64) {
+        debug_assert!(self.victim.is_none(), "previous sequence not closed");
+        self.victim = Some(BlockAddr(candidate));
+        self.scanner.lock();
+        self.started += 1;
+    }
+
+    /// Ends the in-flight sequence as aborted, exactly once. Releases the
+    /// scanner only while we still own its lock — when the scanner has
+    /// already re-pointed `Ptr` at a fresh (unlocked) candidate, that
+    /// candidate belongs to the next sequence and must survive the abort.
+    fn abort_sequence(&mut self) {
+        debug_assert!(self.victim.is_some(), "no sequence to abort");
+        self.victim = None;
+        if self.scanner.is_locked() {
+            self.scanner.release();
+        }
+        self.stats.aborted += 1;
+    }
+
+    /// Ends the in-flight sequence as completed, exactly once.
+    fn complete_sequence(&mut self) {
+        debug_assert!(self.victim.is_some(), "no sequence to complete");
+        self.victim = None;
+        self.scanner.release();
+        self.stats.completed += 1;
+    }
+
     /// The paper's abort rule for victim selection: "if the entry is chosen
     /// as a victim entry, we abort the early eviction … and perform the
     /// normal eviction instead."
     pub fn on_eviction(&mut self, addr: BlockAddr) {
         if self.victim == Some(addr) {
-            self.victim = None;
-            self.scanner.release();
-            self.stats.aborted += 1;
+            self.abort_sequence();
         }
+    }
+
+    /// Cache-side audit: the engine's victim, the scanner's `Ptr`/lock
+    /// registers, and the LLC must agree, and the sequence ledger must
+    /// balance. Returns a description of the first violation found.
+    pub fn check_coherence(&self, hierarchy: &MemoryHierarchy) -> Result<(), String> {
+        if self.victim.map(|v| v.0) != self.scanner.candidate() {
+            return Err(format!(
+                "DWB victim {:?} != scanner Ptr {:?}",
+                self.victim,
+                self.scanner.candidate()
+            ));
+        }
+        if self.victim.is_some() != self.scanner.is_locked() {
+            return Err(format!(
+                "DWB victim {:?} but scanner locked = {}",
+                self.victim,
+                self.scanner.is_locked()
+            ));
+        }
+        if let Some(v) = self.victim {
+            // Any eviction notifies `on_eviction`, and only the engine's own
+            // completion marks the line clean, so a locked victim must still
+            // be a dirty resident of the LLC.
+            match hierarchy.llc().probe(v.0) {
+                Some(info) if info.dirty => {}
+                Some(_) => return Err(format!("DWB victim {v:?} is clean in the LLC")),
+                None => return Err(format!("DWB victim {v:?} not resident in the LLC")),
+            }
+        }
+        let in_flight = u64::from(self.victim.is_some());
+        if self.started != self.stats.completed + self.stats.aborted + in_flight {
+            return Err(format!(
+                "DWB sequence ledger: started {} != completed {} + aborted {} + in-flight {}",
+                self.started, self.stats.completed, self.stats.aborted, in_flight
+            ));
+        }
+        Ok(())
     }
 
     /// Offers the engine a dummy slot at `now`. Returns the path access it
@@ -80,25 +168,24 @@ impl DwbEngine {
         for _ in 0..4 {
             // Keep/refresh the candidate (clears Ptr if it is no longer the
             // dirty LRU entry, even when locked).
-            let had = self.victim;
             self.scanner.step(hierarchy.llc(), now, &mut self.rng);
-            match self.scanner.candidate() {
-                Some(c) => {
-                    if had.is_some() && had != Some(BlockAddr(c)) {
-                        self.stats.aborted += 1;
-                    }
-                    self.victim = Some(BlockAddr(c));
-                    self.scanner.lock();
+            // Re-sync the sequence with the scanner's Ptr register.
+            match (self.victim, self.scanner.candidate()) {
+                (Some(v), Some(c)) if v.0 == c => {} // sequence still in flight
+                (Some(_), Some(c)) => {
+                    // Our victim stopped being the dirty LRU and the scanner
+                    // already found a fresh candidate.
+                    self.abort_sequence();
+                    self.adopt(c);
                 }
-                None => {
-                    if had.is_some() {
-                        self.stats.aborted += 1;
-                    }
-                    self.victim = None;
+                (Some(_), None) => {
+                    self.abort_sequence();
                     return None;
                 }
+                (None, Some(c)) => self.adopt(c),
+                (None, None) => return None,
             }
-            let victim = self.victim.expect("just set");
+            let victim = self.victim.expect("just synced");
             // Derive the remaining work (the paper's Stage register) from
             // PLB state.
             match protocol.posmap_status(victim) {
@@ -128,9 +215,7 @@ impl DwbEngine {
                     // (write) data access, then mark it clean.
                     let r = protocol.data_access(victim, None);
                     hierarchy.llc_mark_clean(victim.0);
-                    self.victim = None;
-                    self.scanner.release();
-                    self.stats.completed += 1;
+                    self.complete_sequence();
                     if let Some(&p) = r.paths.first() {
                         self.stats.converted_slots += 1;
                         self.stats.converted_data += 1;
@@ -225,8 +310,47 @@ mod tests {
         h.access(9, true);
         let _ = e.try_convert(&mut p, &mut h, Cycle(0));
         h.llc_mark_clean(9);
-        // Next slot: the scanner sees the candidate is clean → abort.
+        // Next slot: the scanner sees the candidate is clean → abort,
+        // counted exactly once.
         let _ = e.try_convert(&mut p, &mut h, Cycle(1000));
-        assert!(e.stats().aborted >= 1);
+        assert_eq!(e.stats().aborted, 1);
+    }
+
+    #[test]
+    fn abort_counted_once_even_when_evicted_after_repoint() {
+        // A victim that stops being the dirty LRU gets its sequence aborted
+        // when the scanner re-points; its later normal eviction must not be
+        // counted as a second abort of the same sequence.
+        let (mut p, mut h, mut e) = setup();
+        h.access(3, true); // dirty line, set 3 of the 8-set LLC
+        let _ = e.try_convert(&mut p, &mut h, Cycle(0));
+        assert_eq!(e.victim(), Some(BlockAddr(3)));
+        // Another dirty line appears and the old victim is cleaned behind
+        // the engine's back, so the next slot re-points to the new line.
+        h.access(4, true);
+        h.llc_mark_clean(3);
+        let _ = e.try_convert(&mut p, &mut h, Cycle(1000));
+        assert_eq!(e.victim(), Some(BlockAddr(4)));
+        assert_eq!(e.stats().aborted, 1, "re-point aborts the old sequence once");
+        // The old victim now leaves the LLC normally: no double count.
+        e.on_eviction(BlockAddr(3));
+        assert_eq!(e.stats().aborted, 1);
+        // The in-flight sequence on the new victim is still intact.
+        e.check_coherence(&h).unwrap();
+    }
+
+    #[test]
+    fn sequence_ledger_balances() {
+        let (mut p, mut h, mut e) = setup();
+        h.access(3, true);
+        h.access(9, true);
+        for i in 0..12u64 {
+            let _ = e.try_convert(&mut p, &mut h, Cycle(i * 2000));
+            e.check_coherence(&h).unwrap();
+        }
+        let s = *e.stats();
+        let in_flight = u64::from(e.victim().is_some());
+        assert!(e.sequences_started() >= 1);
+        assert_eq!(e.sequences_started(), s.completed + s.aborted + in_flight);
     }
 }

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod config;
 mod controller;
 mod cpu;
@@ -43,6 +44,7 @@ mod dwb;
 mod rho;
 mod sim;
 
+pub use audit::AuditReport;
 pub use config::{Scheme, SystemConfig, ALL_SCHEMES};
 pub use controller::{OramRequest, ReqId, SlotStats, TimedController};
 pub use cpu::TraceCpu;

@@ -23,6 +23,7 @@ use iroram_protocol::{
 };
 use iroram_sim_engine::{ClockRatio, Cycle};
 
+use crate::audit::{AuditReport, AuditState};
 use crate::{OramRequest, ReqId, SlotStats, SystemConfig};
 
 #[derive(Debug)]
@@ -91,6 +92,9 @@ pub struct RhoController {
     reuse_filter: std::collections::HashSet<u64>,
     reuse_order: VecDeque<u64>,
     reuse_capacity: usize,
+    /// Audit state (main tree only: small-tree slots are re-used by
+    /// different data blocks, so their payloads carry no oracle contract).
+    audit: Option<Box<AuditState>>,
 }
 
 impl RhoController {
@@ -161,7 +165,21 @@ impl RhoController {
             reuse_filter: std::collections::HashSet::new(),
             reuse_order: VecDeque::new(),
             reuse_capacity: 2 * n_slots,
+            audit: cfg.audit.then(|| Box::new(AuditState::new())),
         }
+    }
+
+    /// The audit results so far (None unless `cfg.audit` was set).
+    pub fn audit_report(&self) -> Option<AuditReport> {
+        self.audit.as_ref().map(|a| a.report())
+    }
+
+    /// End-of-run audit: a final structural sweep of both trees. No-op when
+    /// auditing is off.
+    pub fn final_audit(&mut self, _hierarchy: &MemoryHierarchy) {
+        let Some(audit) = &mut self.audit else { return };
+        audit.note_structural("main tree", self.main.check_invariants());
+        audit.note_structural("small tree", self.small.check_invariants());
     }
 
     /// DRAM statistics (shared by both trees).
@@ -206,9 +224,11 @@ impl RhoController {
         }
         // Not small-resident → escrow cannot hit (escrow == small-resident),
         // so this only serves genuine main-stash residents.
-        self.main
-            .front_access(addr, None)
-            .map(|_| now + self.front_hit_lat)
+        let (_, payload) = self.main.front_access(addr, None)?;
+        if let Some(audit) = &mut self.audit {
+            audit.oracle_read(addr.0, payload);
+        }
+        Some(now + self.front_hit_lat)
     }
 
     /// Submits a demand request.
@@ -324,6 +344,12 @@ impl RhoController {
 
     /// Issues one slot following the 1 main : 2 small fixed pattern.
     pub fn process_slot(&mut self, _hierarchy: &mut MemoryHierarchy) {
+        if let Some(audit) = &mut self.audit {
+            if audit.structural_due() {
+                audit.note_structural("main tree", self.main.check_invariants());
+                audit.note_structural("small tree", self.small.check_invariants());
+            }
+        }
         let t = self.next_slot;
         let is_main = self.slot_idx % 3 == 0;
         self.slot_idx += 1;
@@ -366,6 +392,9 @@ impl RhoController {
                 }) => {
                     if let Some(pm_addr) = pm.pop_front() {
                         let rec = self.main.fetch_posmap_block(pm_addr);
+                        if let Some(audit) = &mut self.audit {
+                            audit.oracle_read(pm_addr.0, rec.payload);
+                        }
                         self.current_main = Some(MainWork::Request { req, pm, install });
                         if let Some(&p) = rec.paths.first() {
                             return Some((p, false, None));
@@ -391,6 +420,9 @@ impl RhoController {
                     // which is not what ρ's hierarchy does for streaming /
                     // pointer-chasing workloads.
                     let rec = self.main.data_access(req.addr, None);
+                    if let Some(audit) = &mut self.audit {
+                        audit.oracle_read(req.addr.0, rec.payload);
+                    }
                     let completes = req.blocking.then_some(req.id);
                     if install {
                         self.schedule_install(req.addr);
@@ -413,6 +445,9 @@ impl RhoController {
                 Some(MainWork::Wb { addr, mut pm }) => {
                     if let Some(pm_addr) = pm.pop_front() {
                         let rec = self.main.fetch_posmap_block(pm_addr);
+                        if let Some(audit) = &mut self.audit {
+                            audit.oracle_read(pm_addr.0, rec.payload);
+                        }
                         self.current_main = Some(MainWork::Wb { addr, pm });
                         if let Some(&p) = rec.paths.first() {
                             return Some((p, false, None));
@@ -540,6 +575,7 @@ impl RhoController {
             .into_iter()
             .map(|a| a + offset)
             .collect();
+        let req_before = self.dram.stats().requests;
         let arrival = self.clock.fast_to_slow(t);
         let reads: Vec<MemRequest> = lines
             .iter()
@@ -556,6 +592,26 @@ impl RhoController {
         self.last_write_done = self.last_write_done.max(write_done_cpu);
         if let Some(id) = completes {
             self.completions.push((id, read_done_cpu));
+        }
+        if let Some(audit) = &mut self.audit {
+            let expected = if small_tree {
+                self.small.layout().path_len_memory(0)
+            } else {
+                let cached = self.main.config().treetop.cached_levels();
+                self.main.layout().path_len_memory(cached)
+            };
+            audit.note_slot(
+                t,
+                self.t_interval,
+                self.clock.slow_to_fast(read_done),
+                self.timing_protection,
+            );
+            audit.check_conservation(
+                lines.len() as u64,
+                expected,
+                self.dram.stats().requests - req_before,
+                self.dram.latency_underflows(),
+            );
         }
         // See `TimedController::finish_path`: pace on the read phase; the
         // write phase overlaps the next path through DRAM state.

@@ -8,6 +8,7 @@ use iroram_protocol::{BlockAddr, ProtocolStats};
 use iroram_sim_engine::Cycle;
 use iroram_trace::{Bench, WorkloadGen};
 
+use crate::audit::AuditReport;
 use crate::cpu::IssueCheck;
 use crate::dwb::DwbStats;
 use crate::{OramRequest, RhoController, Scheme, SlotStats, SystemConfig, TimedController, TraceCpu};
@@ -115,6 +116,16 @@ impl Backend {
         }
     }
 
+    /// Runs the end-of-run audit sweep (no-op when auditing is off).
+    fn final_audit(&mut self, h: &MemoryHierarchy) {
+        delegate!(self, b => b.final_audit(h))
+    }
+
+    /// The audit results (None unless the config enabled auditing).
+    pub fn audit_report(&self) -> Option<AuditReport> {
+        delegate!(self, b => b.audit_report())
+    }
+
     /// Per-level `(used, capacity)` of the (main) tree.
     pub fn utilization(&self) -> Vec<(u64, u64)> {
         match self {
@@ -218,13 +229,36 @@ impl Simulation {
         Self::run(cfg, gen, limit, bench.name())
     }
 
+    /// Like [`Simulation::run_bench`], also returning the audit results
+    /// (Some iff `cfg.audit`).
+    pub fn run_bench_audited(
+        cfg: &SystemConfig,
+        bench: Bench,
+        limit: RunLimit,
+    ) -> (SimReport, Option<AuditReport>) {
+        let gen = WorkloadGen::for_bench(bench, cfg.data_blocks(), cfg.seed);
+        Self::run_audited(cfg, gen, limit, bench.name())
+    }
+
     /// Runs an arbitrary workload generator on `cfg`.
     pub fn run(
+        cfg: &SystemConfig,
+        gen: WorkloadGen,
+        limit: RunLimit,
+        workload: &str,
+    ) -> SimReport {
+        Self::run_audited(cfg, gen, limit, workload).0
+    }
+
+    /// Like [`Simulation::run`], also returning the audit results (Some iff
+    /// `cfg.audit`). Auditing observes only: the [`SimReport`] is identical
+    /// with the flag on or off.
+    pub fn run_audited(
         cfg: &SystemConfig,
         mut gen: WorkloadGen,
         limit: RunLimit,
         workload: &str,
-    ) -> SimReport {
+    ) -> (SimReport, Option<AuditReport>) {
         let mut backend = Backend::new(cfg);
         let mut hierarchy = MemoryHierarchy::new(cfg.hierarchy);
         let mut cpu = TraceCpu::new(cfg.rob_insts, cfg.ipc, cfg.mshrs);
@@ -310,8 +344,10 @@ impl Simulation {
             .max(drain_end)
             .raw();
 
+        backend.final_audit(&hierarchy);
+        let audit = backend.audit_report();
         let (protocol, protocol_small) = backend.protocol_stats();
-        SimReport {
+        let report = SimReport {
             scheme: cfg.scheme,
             workload: workload.to_owned(),
             cycles,
@@ -323,7 +359,8 @@ impl Simulation {
             dram: backend.dram_stats(),
             hierarchy: *hierarchy.stats(),
             dwb: backend.dwb_stats(),
-        }
+        };
+        (report, audit)
     }
 }
 
@@ -401,6 +438,45 @@ mod tests {
         let r = Simulation::run_bench(&cfg, Bench::Lbm, RunLimit::mem_ops(4_000));
         assert!(r.write_mpki() > r.read_mpki(), "lbm is write-dominated");
         assert!(r.read_mpki() >= 0.0);
+    }
+
+    #[test]
+    fn audit_is_clean_and_does_not_perturb() {
+        for scheme in crate::ALL_SCHEMES {
+            let cfg = tiny(scheme);
+            let plain = Simulation::run_bench(&cfg, Bench::Gcc, RunLimit::mem_ops(2_000));
+            let mut audited = cfg.clone();
+            audited.audit = true;
+            let (report, audit) =
+                Simulation::run_bench_audited(&audited, Bench::Gcc, RunLimit::mem_ops(2_000));
+            let audit = audit.expect("audit enabled");
+            assert!(
+                audit.checks > 100,
+                "{scheme:?}: audit barely ran ({} checks)",
+                audit.checks
+            );
+            assert!(
+                audit.is_clean(),
+                "{scheme:?}: {} violations, e.g. {:?}",
+                audit.violations,
+                audit.samples.first()
+            );
+            // "Audits observe, they don't perturb": every reported number
+            // must be identical with auditing on.
+            assert_eq!(report.cycles, plain.cycles, "{scheme:?}");
+            assert_eq!(report.protocol, plain.protocol, "{scheme:?}");
+            assert_eq!(report.slots, plain.slots, "{scheme:?}");
+            assert_eq!(report.dram, plain.dram, "{scheme:?}");
+            assert_eq!(report.hierarchy, plain.hierarchy, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn audit_report_absent_when_disabled() {
+        let cfg = tiny(Scheme::Baseline);
+        let (_, audit) =
+            Simulation::run_bench_audited(&cfg, Bench::Gcc, RunLimit::mem_ops(500));
+        assert!(audit.is_none());
     }
 
     #[test]

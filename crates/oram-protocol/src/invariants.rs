@@ -54,6 +54,24 @@ pub enum InvariantError {
         /// The offending block.
         addr: BlockAddr,
     },
+    /// A bucket holds more blocks than its level's `Z` allocation allows
+    /// (the IR-Alloc per-level bound).
+    BucketOverflow {
+        /// Level of the overflowing bucket.
+        level: usize,
+        /// Bucket index within the level.
+        bucket: u64,
+        /// Blocks found in the bucket.
+        len: usize,
+        /// The level's configured `Z`.
+        cap: u32,
+    },
+    /// The tree-top store's internal indices are incoherent (e.g. a
+    /// dangling or duplicated S-Stash TT pointer).
+    StoreIncoherent {
+        /// Description from the store's self-check.
+        detail: String,
+    },
 }
 
 impl fmt::Display for InvariantError {
@@ -80,6 +98,18 @@ impl fmt::Display for InvariantError {
             InvariantError::Missing { addr } => write!(f, "mapped block {addr} not found"),
             InvariantError::EscrowedButStored { addr } => {
                 write!(f, "escrowed block {addr} still stored in the ORAM")
+            }
+            InvariantError::BucketOverflow {
+                level,
+                bucket,
+                len,
+                cap,
+            } => write!(
+                f,
+                "bucket at level {level} index {bucket} holds {len} blocks, Z allows {cap}"
+            ),
+            InvariantError::StoreIncoherent { detail } => {
+                write!(f, "tree-top store incoherent: {detail}")
             }
         }
     }
@@ -108,9 +138,20 @@ impl PathOram {
             Ok(())
         };
 
-        // Tree blocks: position + leaf consistency.
+        // Tree blocks: position + leaf consistency + per-level Z bounds.
+        let mut bucket_fill: HashMap<(usize, u64), usize> = HashMap::new();
         for (level, bucket, block) in self.tree().iter_blocks() {
             record(block.addr, format!("tree L{level}/B{bucket}"))?;
+            let fill = bucket_fill.entry((level, bucket)).or_insert(0);
+            *fill += 1;
+            if *fill > layout.z_of(level) as usize {
+                return Err(InvariantError::BucketOverflow {
+                    level,
+                    bucket,
+                    len: *fill,
+                    cap: layout.z_of(level),
+                });
+            }
             if layout.bucket_on_path(block.leaf, level) != bucket {
                 return Err(InvariantError::OffPath {
                     addr: block.addr,
@@ -122,10 +163,25 @@ impl PathOram {
                 return Err(InvariantError::LeafMismatch { addr: block.addr });
             }
         }
-        // Tree-top blocks.
+        // Tree-top blocks: same position/leaf checks plus the store's own
+        // deep coherence (S-Stash TT↔entry agreement, Z bounds).
         if let Some(top) = self.treetop_store() {
+            if let Err(detail) = top.check_coherence() {
+                return Err(InvariantError::StoreIncoherent { detail });
+            }
+            let mut top_fill: HashMap<(usize, u64), usize> = HashMap::new();
             for (level, bucket, block) in top.blocks() {
                 record(block.addr, format!("top L{level}/B{bucket}"))?;
+                let fill = top_fill.entry((level, bucket)).or_insert(0);
+                *fill += 1;
+                if *fill > layout.z_of(level) as usize {
+                    return Err(InvariantError::BucketOverflow {
+                        level,
+                        bucket,
+                        len: *fill,
+                        cap: layout.z_of(level),
+                    });
+                }
                 if layout.bucket_on_path(block.leaf, level) != bucket {
                     return Err(InvariantError::OffPath {
                         addr: block.addr,

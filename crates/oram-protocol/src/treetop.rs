@@ -66,6 +66,13 @@ pub trait TreeTopStore {
     /// Empties the store (context switch), returning every block so the
     /// controller can write them back to their memory locations.
     fn flush(&mut self) -> Vec<(usize, u64, StoredBlock)>;
+
+    /// Deep structural self-check for the audit subsystem: internal indices
+    /// must be coherent and every cached bucket within its level's `Z`
+    /// bound. Returns a description of the first violation found.
+    fn check_coherence(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 fn node_code(level: usize, bucket: u64) -> usize {
@@ -175,6 +182,24 @@ impl TreeTopStore for DedicatedTreeTop {
             b.clear();
         }
         out
+    }
+
+    fn check_coherence(&self) -> Result<(), String> {
+        if !self.buckets[0].is_empty() {
+            return Err("dedicated tree-top: node code 0 (skip-all-zeros) is occupied".into());
+        }
+        for l in 0..self.cached_levels {
+            for b in 0..(1u64 << l) {
+                let len = self.buckets[node_code(l, b)].len();
+                if len > self.z[l] as usize {
+                    return Err(format!(
+                        "dedicated tree-top: bucket L{l}/B{b} holds {len} > Z={}",
+                        self.z[l]
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -360,6 +385,66 @@ impl TreeTopStore for IrStashTop {
         self.tt.iter_mut().for_each(Vec::clear);
         out
     }
+
+    fn check_coherence(&self) -> Result<(), String> {
+        if !self.tt[0].is_empty() {
+            return Err("S-Stash: node code 0 (skip-all-zeros) has TT pointers".into());
+        }
+        let mut refs = vec![0u32; self.entries.len()];
+        for (code, ptrs) in self.tt.iter().enumerate().skip(1) {
+            // Invert the paper's node code: level = ⌊log2 code⌋,
+            // bucket = the remaining low bits.
+            let level = (usize::BITS - 1 - code.leading_zeros()) as usize;
+            let bucket = (code - (1 << level)) as u64;
+            if ptrs.is_empty() {
+                continue;
+            }
+            if level >= self.cached_levels {
+                return Err(format!(
+                    "S-Stash: TT code {code} (level {level}) beyond cached levels"
+                ));
+            }
+            if ptrs.len() > self.z[level] as usize {
+                return Err(format!(
+                    "S-Stash: bucket L{level}/B{bucket} has {} TT pointers > Z={}",
+                    ptrs.len(),
+                    self.z[level]
+                ));
+            }
+            for &p in ptrs {
+                let Some(e) = self.entries.get(p as usize).copied().flatten() else {
+                    return Err(format!(
+                        "S-Stash: TT pointer L{level}/B{bucket}→{p} references a dead entry"
+                    ));
+                };
+                if (e.level as usize, e.bucket) != (level, bucket) {
+                    return Err(format!(
+                        "S-Stash: entry {p} tagged L{}/B{} but pointed to by L{level}/B{bucket}",
+                        e.level, e.bucket
+                    ));
+                }
+                if !self.set_range(self.set_of(e.block.addr)).contains(&(p as usize)) {
+                    return Err(format!(
+                        "S-Stash: entry {p} ({}) outside its MD5-indexed set",
+                        e.block.addr
+                    ));
+                }
+                refs[p as usize] += 1;
+            }
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            match (e.is_some(), refs[i]) {
+                (true, 1) | (false, 0) => {}
+                (true, n) => {
+                    return Err(format!("S-Stash: live entry {i} has {n} TT references"));
+                }
+                (false, n) => {
+                    return Err(format!("S-Stash: free entry {i} has {n} TT references"));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -500,5 +585,62 @@ mod tests {
         let l = layout();
         let top = IrStashTop::new(&l, 3, 8, 4);
         assert_eq!(top.capacity(), 32);
+    }
+
+    #[test]
+    fn coherence_check_accepts_sound_stores() {
+        let l = layout();
+        let mut ded = DedicatedTreeTop::new(&l, 3);
+        ded.write_bucket(2, 3, vec![blk(1, 28), blk(2, 31)]);
+        ded.check_coherence().unwrap();
+        let mut ir = IrStashTop::new(&l, 3, 8, 4);
+        ir.write_bucket(2, 1, vec![blk(10, 8), blk(11, 9)]);
+        ir.write_bucket(0, 0, vec![blk(3, 4)]);
+        ir.check_coherence().unwrap();
+    }
+
+    #[test]
+    fn coherence_check_catches_dangling_tt_pointer() {
+        let l = layout();
+        let mut ir = IrStashTop::new(&l, 3, 8, 4);
+        ir.write_bucket(1, 0, vec![blk(42, 0)]);
+        // Corrupt: kill the entry but leave its TT pointer behind.
+        let p = ir.tt[node_code(1, 0)][0] as usize;
+        ir.entries[p] = None;
+        let err = ir.check_coherence().unwrap_err();
+        assert!(err.contains("dead entry"), "{err}");
+    }
+
+    #[test]
+    fn coherence_check_catches_leaked_entry() {
+        let l = layout();
+        let mut ir = IrStashTop::new(&l, 3, 8, 4);
+        ir.write_bucket(1, 0, vec![blk(42, 0)]);
+        // Corrupt: drop the TT pointer but keep the entry alive.
+        ir.tt[node_code(1, 0)].clear();
+        let err = ir.check_coherence().unwrap_err();
+        assert!(err.contains("0 TT references"), "{err}");
+    }
+
+    #[test]
+    fn coherence_check_catches_mistagged_entry() {
+        let l = layout();
+        let mut ir = IrStashTop::new(&l, 3, 8, 4);
+        ir.write_bucket(1, 1, vec![blk(42, 16)]);
+        let p = ir.tt[node_code(1, 1)][0] as usize;
+        ir.entries[p].as_mut().unwrap().bucket = 0;
+        let err = ir.check_coherence().unwrap_err();
+        assert!(err.contains("tagged"), "{err}");
+    }
+
+    #[test]
+    fn coherence_check_catches_dedicated_overflow() {
+        let l = layout();
+        let mut ded = DedicatedTreeTop::new(&l, 3);
+        ded.write_bucket(0, 0, vec![blk(1, 0), blk(2, 17)]);
+        // Corrupt past the Z bound behind the store's back.
+        ded.buckets[node_code(0, 0)].extend([blk(3, 1), blk(4, 2), blk(5, 3)]);
+        let err = ded.check_coherence().unwrap_err();
+        assert!(err.contains("> Z="), "{err}");
     }
 }

@@ -155,6 +155,35 @@ proptest! {
     }
 }
 
+/// Named regression for the fuzzer seed `levels = 8, top_frac = 1` — the
+/// shallowest tree `prop_alloc_presets_sound` can draw. The top fraction
+/// clamps to a single cached level, so every preset's shrunken middle sits
+/// directly below the tree top, the tightest squeeze the presets allow.
+/// Promoted to a deterministic unit test so the edge case runs on every
+/// `cargo test`, not only when the fuzzer happens to re-draw it. (The
+/// space-reduction bound is not asserted here: with `levels - top = 7 < 15`
+/// the memory-resident region is too shallow for the paper's <1% claim.)
+#[test]
+fn alloc_presets_sound_at_min_depth_seed() {
+    let (levels, top_frac) = (8usize, 1usize);
+    let top = (levels * top_frac / 10).max(1).min(levels - 2);
+    assert_eq!(top, 1, "seed must clamp to a single cached level");
+    let base = ZAllocation::uniform(levels, 4);
+    for preset in [
+        AllocPreset::IrAlloc1,
+        AllocPreset::IrAlloc2,
+        AllocPreset::IrAlloc3,
+        AllocPreset::IrAlloc4,
+    ] {
+        let a = ZAllocation::preset(preset, levels, top);
+        assert_eq!(a.z_of(levels - 1), 4, "{preset:?} must keep leaf Z=4");
+        assert!(
+            a.path_len(top) <= base.path_len(top),
+            "{preset:?} must not lengthen the memory path"
+        );
+    }
+}
+
 /// Deterministic end-to-end reproducibility across the whole stack: two
 /// identical timed simulations produce byte-identical reports.
 #[test]

@@ -165,17 +165,25 @@ macro_rules! prop_assume {
 
 /// The property-test declaration macro.
 ///
-/// Supports the form used across this workspace:
+/// Supports the form used across this workspace: an optional
+/// `#![proptest_config(...)]` header followed by property functions whose
+/// arguments are drawn from strategies. In test modules each property
+/// carries `#[test]`; without the attribute the macro expands to a plain
+/// function, which is how this example drives one directly:
 ///
-/// ```ignore
+/// ```
+/// use proptest::prelude::*;
+///
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(32))]
 ///
-///     #[test]
 ///     fn prop_name(x in 0u64..10, y in any::<u64>()) {
 ///         prop_assert!(x < 10);
+///         prop_assert_eq!(y.wrapping_add(1).wrapping_sub(1), y);
 ///     }
 /// }
+///
+/// prop_name();
 /// ```
 #[macro_export]
 macro_rules! proptest {
