@@ -21,6 +21,7 @@ fn cfg(levels: usize, treetop: TreeTopMode, zalloc: ZAllocation) -> OramConfig {
         remap: iroram_protocol::RemapPolicy::Immediate,
         max_bg_evicts_per_access: 8,
         encrypt_payloads: false,
+        integrity: true,
         seed: 7,
     }
 }

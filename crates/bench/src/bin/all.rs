@@ -1,7 +1,9 @@
 //! Regenerates every table and figure in sequence (use `--quick` for a
 //! fast smoke pass, `--csv <dir>` to export CSVs).
+type FigFn = fn(&iroram_experiments::ExpOptions) -> iroram_experiments::Table;
+
 fn main() {
-    let figs: [(&str, fn(&iroram_experiments::ExpOptions) -> iroram_experiments::Table); 13] = [
+    let figs: [(&str, FigFn); 13] = [
         ("table1", iroram_experiments::table1::run),
         ("table2", iroram_experiments::table2::run),
         ("fig2", iroram_experiments::fig2::run),

@@ -93,5 +93,10 @@ fn main() {
             p.escrow_hits, p.served_stash, r.dram.requests,
             r.cycles as f64 / s.total_slots.max(1) as f64
         );
+        let st = &r.stash;
+        println!(
+            "           stash: peak {}/{} soft, {} over-capacity slot(s), {} bg escalation(s)",
+            st.max_occupancy, st.soft_capacity, st.overflow_slots, st.bg_escalations
+        );
     }
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig10. See `iroram_experiments::fig10`.
 fn main() {
-    iroram_bench::harness("fig10", |opts| iroram_experiments::fig10::run(opts));
+    iroram_bench::harness("fig10", iroram_experiments::fig10::run);
 }

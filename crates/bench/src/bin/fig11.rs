@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig11. See `iroram_experiments::fig11`.
 fn main() {
-    iroram_bench::harness("fig11", |opts| iroram_experiments::fig11::run(opts));
+    iroram_bench::harness("fig11", iroram_experiments::fig11::run);
 }

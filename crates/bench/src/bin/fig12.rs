@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig12. See `iroram_experiments::fig12`.
 fn main() {
-    iroram_bench::harness("fig12", |opts| iroram_experiments::fig12::run(opts));
+    iroram_bench::harness("fig12", iroram_experiments::fig12::run);
 }

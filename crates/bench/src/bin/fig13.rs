@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig13. See `iroram_experiments::fig13`.
 fn main() {
-    iroram_bench::harness("fig13", |opts| iroram_experiments::fig13::run(opts));
+    iroram_bench::harness("fig13", iroram_experiments::fig13::run);
 }

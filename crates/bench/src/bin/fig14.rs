@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig14. See `iroram_experiments::fig14`.
 fn main() {
-    iroram_bench::harness("fig14", |opts| iroram_experiments::fig14::run(opts));
+    iroram_bench::harness("fig14", iroram_experiments::fig14::run);
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig15. See `iroram_experiments::fig15`.
 fn main() {
-    iroram_bench::harness("fig15", |opts| iroram_experiments::fig15::run(opts));
+    iroram_bench::harness("fig15", iroram_experiments::fig15::run);
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig16. See `iroram_experiments::fig16`.
 fn main() {
-    iroram_bench::harness("fig16", |opts| iroram_experiments::fig16::run(opts));
+    iroram_bench::harness("fig16", iroram_experiments::fig16::run);
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig2. See `iroram_experiments::fig2`.
 fn main() {
-    iroram_bench::harness("fig2", |opts| iroram_experiments::fig2::run(opts));
+    iroram_bench::harness("fig2", iroram_experiments::fig2::run);
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig3. See `iroram_experiments::fig3`.
 fn main() {
-    iroram_bench::harness("fig3", |opts| iroram_experiments::fig3::run(opts));
+    iroram_bench::harness("fig3", iroram_experiments::fig3::run);
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig4. See `iroram_experiments::fig4`.
 fn main() {
-    iroram_bench::harness("fig4", |opts| iroram_experiments::fig4::run(opts));
+    iroram_bench::harness("fig4", iroram_experiments::fig4::run);
 }

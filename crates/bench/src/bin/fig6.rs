@@ -1,4 +1,4 @@
 //! Regenerates the paper's fig6. See `iroram_experiments::fig6`.
 fn main() {
-    iroram_bench::harness("fig6", |opts| iroram_experiments::fig6::run(opts));
+    iroram_bench::harness("fig6", iroram_experiments::fig6::run);
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's table1. See `iroram_experiments::table1`.
 fn main() {
-    iroram_bench::harness("table1", |opts| iroram_experiments::table1::run(opts));
+    iroram_bench::harness("table1", iroram_experiments::table1::run);
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's table2. See `iroram_experiments::table2`.
 fn main() {
-    iroram_bench::harness("table2", |opts| iroram_experiments::table2::run(opts));
+    iroram_bench::harness("table2", iroram_experiments::table2::run);
 }

@@ -28,10 +28,15 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig6;
+pub mod journal;
 pub mod render;
 pub mod runner;
 pub mod table1;
 pub mod table2;
 
 pub use render::Table;
-pub use runner::{geomean, par_map, run_matrix, run_scheme, ExpOptions};
+pub use journal::Journal;
+pub use runner::{
+    geomean, par_map, run_cell_checked, run_matrix, run_scheme, CellError, CellOutcome,
+    ExpOptions, MAX_CELL_RETRIES,
+};

@@ -12,12 +12,30 @@
 //! returns results in input order, making any `--jobs N` run bit-identical
 //! to the serial one.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
-use ir_oram::{RunLimit, Scheme, SimReport, Simulation, SystemConfig};
+use ir_oram::{RunLimit, Scheme, SimError, SimReport, Simulation, SystemConfig};
 use iroram_protocol::{OramConfig, TreeTopMode, ZAllocation};
 use iroram_trace::Bench;
+
+use crate::journal::{self, Journal};
+
+/// Bounded deterministic retries for cells that fail with a *transient*
+/// [`SimError`] under fault injection (each retry re-runs the cell with a
+/// fresh fault stream via [`iroram_sim_engine::FaultConfig::attempt`]).
+pub const MAX_CELL_RETRIES: u32 = 3;
+
+/// Environment variable overriding the `--resume` journal path
+/// (default `iroram-resume.jsonl` in the working directory).
+pub const RESUME_PATH_ENV: &str = "IRORAM_RESUME_PATH";
+
+/// Environment variable that aborts the process (exit 3) after this many
+/// cells have been journaled — a deterministic mid-run kill for exercising
+/// `--resume` in tests and CI. Only honoured when `--resume` is on.
+pub const ABORT_AFTER_ENV: &str = "IRORAM_ABORT_AFTER_CELLS";
 
 /// Usage text shared by every experiment binary.
 pub const USAGE: &str = "\
@@ -29,7 +47,10 @@ usage: <experiment> [--quick | --standard | --full] [--jobs N] [--csv DIR] [--au
                (0 or omitted = one per available core)
   --csv DIR    also write each table as DIR/<name>.csv
   --audit      run every cell with the audit subsystem on and abort on any
-               violation (results are identical; audits observe only)";
+               violation (results are identical; audits observe only)
+  --resume     journal finished cells to a JSONL file and skip any cell the
+               journal already holds (path: $IRORAM_RESUME_PATH, default
+               iroram-resume.jsonl)";
 
 /// Scaling knobs for the experiments.
 ///
@@ -57,6 +78,9 @@ pub struct ExpOptions {
     /// Run each timed cell with the audit subsystem enabled, aborting on
     /// the first cell reporting violations.
     pub audit: bool,
+    /// Journal finished cells to [`resume_path`] and answer already-journaled
+    /// cells from it, so an interrupted sweep can pick up where it died.
+    pub resume: bool,
 }
 
 impl ExpOptions {
@@ -71,6 +95,7 @@ impl ExpOptions {
             seed: 0xE0,
             jobs: 0,
             audit: false,
+            resume: false,
         }
     }
 
@@ -85,6 +110,7 @@ impl ExpOptions {
             seed: 0xE0,
             jobs: 0,
             audit: false,
+            resume: false,
         }
     }
 
@@ -99,6 +125,7 @@ impl ExpOptions {
             seed: 0xE0,
             jobs: 0,
             audit: false,
+            resume: false,
         }
     }
 
@@ -126,10 +153,12 @@ impl ExpOptions {
         let mut opts = ExpOptions::standard();
         let mut jobs: Option<usize> = None;
         let mut audit = false;
+        let mut resume = false;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--audit" => audit = true,
+                "--resume" => resume = true,
                 "--quick" => opts = ExpOptions::quick(),
                 "--standard" => opts = ExpOptions::standard(),
                 "--full" => opts = ExpOptions::full(),
@@ -165,6 +194,7 @@ impl ExpOptions {
             opts.jobs = j;
         }
         opts.audit |= audit;
+        opts.resume |= resume;
         Ok(opts)
     }
 
@@ -219,6 +249,7 @@ impl ExpOptions {
             remap: iroram_protocol::RemapPolicy::Immediate,
             max_bg_evicts_per_access: 8,
             encrypt_payloads: false,
+            integrity: true,
             seed: self.seed,
         }
     }
@@ -268,23 +299,151 @@ where
                 if i >= n {
                     break;
                 }
+                // Tolerate poisoned mutexes: if another worker's closure
+                // panicked, the rest of the batch still completes, and
+                // `thread::scope` re-raises the original panic afterwards.
                 let item = work[i]
                     .lock()
-                    .expect("cell mutex")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .take()
                     .expect("each cell claimed exactly once");
                 let result = f(item);
-                *out[i].lock().expect("slot mutex") = Some(result);
+                *out[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
             });
         }
     });
     out.into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("slot mutex")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("worker filled every claimed slot")
         })
         .collect()
+}
+
+/// Why a simulation cell failed, after any retries.
+#[derive(Debug, Clone)]
+pub struct CellError {
+    /// Which cell: `"<scheme>/<bench>"`.
+    pub cell: String,
+    /// Human-readable failure description (the final attempt's).
+    pub message: String,
+    /// Whether the final error was a transient [`SimError`] (retries were
+    /// exhausted) rather than a hard failure.
+    pub transient: bool,
+    /// Attempts consumed (1 = failed on the first try with no retry).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell {} failed after {} attempt(s): {}",
+            self.cell, self.attempts, self.message
+        )
+    }
+}
+
+/// One cell's result: the report, or a classified failure.
+pub type CellOutcome = Result<SimReport, CellError>;
+
+/// Runs one timed cell, catching panics and retrying transient
+/// [`SimError`]s deterministically.
+///
+/// Each retry bumps [`iroram_sim_engine::FaultConfig::attempt`], which is
+/// mixed into the fault plan's seed: the cell re-runs with a *fresh fault
+/// stream* but everything else identical, which is the sound recovery for
+/// modelled transient physical conditions (Path ORAM treats stash overflow
+/// as probabilistic). With no active fault plan a retry would replay the
+/// identical failure, so the cell fails immediately instead.
+pub fn run_cell_checked(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> CellOutcome {
+    let cell = format!("{}/{}", cfg.scheme.name(), bench.name());
+    let mut attempt: u32 = 0;
+    loop {
+        let mut acfg = cfg.clone();
+        acfg.faults.attempt = cfg.faults.attempt + attempt;
+        let run = catch_unwind(AssertUnwindSafe(|| try_run_cell(&acfg, bench, limit)));
+        let (message, transient) = match run {
+            Ok(Ok(report)) => return Ok(report),
+            Ok(Err(e)) => (e.to_string(), e.is_transient()),
+            Err(payload) => (panic_message(&payload), false),
+        };
+        let retryable = transient && cfg.faults.is_active() && attempt < MAX_CELL_RETRIES;
+        if !retryable {
+            return Err(CellError {
+                cell,
+                message,
+                transient,
+                attempts: attempt + 1,
+            });
+        }
+        attempt += 1;
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_owned()
+    }
+}
+
+fn try_run_cell(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> Result<SimReport, SimError> {
+    if !cfg.audit {
+        return Simulation::try_run_bench(cfg, bench, limit);
+    }
+    let (report, audit) = Simulation::try_run_bench_audited(cfg, bench, limit)?;
+    let audit = audit.expect("audit enabled in config");
+    assert!(
+        audit.is_clean(),
+        "audit: {} violation(s) in {} on {} (first: {})",
+        audit.violations,
+        cfg.scheme.name(),
+        bench.name(),
+        audit.samples.first().map_or("<none>", String::as_str),
+    );
+    Ok(report)
+}
+
+/// The `--resume` journal path: [`RESUME_PATH_ENV`] if set, else
+/// `iroram-resume.jsonl` in the working directory.
+pub fn resume_path() -> PathBuf {
+    std::env::var_os(RESUME_PATH_ENV)
+        .map_or_else(|| PathBuf::from("iroram-resume.jsonl"), PathBuf::from)
+}
+
+/// Opens the resume journal when `opts.resume` is set (announcing how many
+/// cells it already holds), or returns `None`.
+fn open_journal(opts: &ExpOptions) -> Option<Journal> {
+    if !opts.resume {
+        return None;
+    }
+    let path = resume_path();
+    match Journal::open(&path) {
+        Ok(j) => {
+            if !j.is_empty() {
+                eprintln!(
+                    "resume: {} finished cell(s) in {}",
+                    j.len(),
+                    j.path().display()
+                );
+            }
+            Some(j)
+        }
+        Err(e) => {
+            eprintln!("resume: cannot open {}: {e}; journaling disabled", path.display());
+            None
+        }
+    }
+}
+
+/// The `IRORAM_ABORT_AFTER_CELLS` budget, if set to a number.
+fn abort_budget() -> Option<usize> {
+    std::env::var(ABORT_AFTER_ENV).ok()?.parse().ok()
 }
 
 /// The benchmark list used in the performance figures: Table II's thirteen
@@ -321,12 +480,9 @@ pub fn run_cell(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> SimReport 
 }
 
 /// Runs one scheme across `benches`, fanning the per-bench cells out over
-/// [`ExpOptions::effective_jobs`] workers.
+/// [`ExpOptions::effective_jobs`] workers (journaled when `--resume` is on).
 pub fn run_scheme(opts: &ExpOptions, scheme: Scheme, benches: &[Bench]) -> Vec<SimReport> {
-    let cfg = opts.system(scheme);
-    par_map(opts.effective_jobs(), benches.to_vec(), |b| {
-        run_cell(&cfg, b, opts.limit())
-    })
+    run_matrix(opts, &[scheme], benches).remove(0)
 }
 
 /// Runs the full `schemes × benches` product as one parallel batch,
@@ -335,6 +491,16 @@ pub fn run_scheme(opts: &ExpOptions, scheme: Scheme, benches: &[Bench]) -> Vec<S
 /// Prefer this over repeated [`run_scheme`] calls in figures that compare
 /// schemes: the whole matrix becomes one pool of cells, so workers stay
 /// busy across scheme boundaries.
+///
+/// With `--resume`, each finished cell is appended to the journal and any
+/// cell the journal already holds is answered from it without simulating,
+/// so a sweep killed mid-run and restarted produces output byte-identical
+/// to an uninterrupted run.
+///
+/// # Panics
+///
+/// Panics with the cell's classified failure if a cell still fails after
+/// its bounded retries (batch figures have no partial-output mode).
 pub fn run_matrix(
     opts: &ExpOptions,
     schemes: &[Scheme],
@@ -344,8 +510,28 @@ pub fn run_matrix(
     let cells: Vec<(usize, Bench)> = (0..schemes.len())
         .flat_map(|s| benches.iter().map(move |&b| (s, b)))
         .collect();
+    let journal = open_journal(opts);
+    let abort_after = journal.as_ref().and_then(|_| abort_budget());
+    let journaled = AtomicUsize::new(0);
     let reports = par_map(opts.effective_jobs(), cells, |(s, b)| {
-        run_cell(&configs[s], b, opts.limit())
+        let cfg = &configs[s];
+        let fp = journal::fingerprint(cfg, b, opts.limit());
+        if let Some(j) = &journal {
+            if let Some(report) = j.lookup(fp) {
+                return report;
+            }
+        }
+        let report =
+            run_cell_checked(cfg, b, opts.limit()).unwrap_or_else(|e| panic!("{e}"));
+        if let Some(j) = &journal {
+            j.record(fp, &report);
+            let n = journaled.fetch_add(1, Ordering::SeqCst) + 1;
+            if abort_after.is_some_and(|budget| n >= budget) {
+                eprintln!("aborting after {n} journaled cell(s) ({ABORT_AFTER_ENV})");
+                std::process::exit(3);
+            }
+        }
+        report
     });
     let mut rows: Vec<Vec<SimReport>> = Vec::with_capacity(schemes.len());
     let mut it = reports.into_iter();

@@ -174,7 +174,7 @@ impl AuditState {
     /// due.
     pub(crate) fn structural_due(&mut self) -> bool {
         self.slots += 1;
-        self.slots % STRUCTURAL_PERIOD == 0
+        self.slots.is_multiple_of(STRUCTURAL_PERIOD)
     }
 
     /// Folds a structural invariant-check result in, labelling failures

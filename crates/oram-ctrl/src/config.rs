@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use iroram_cache::HierarchyConfig;
 use iroram_dram::DramConfig;
 use iroram_protocol::{AllocPreset, OramConfig, RemapPolicy, TreeTopMode, ZAllocation};
-use iroram_sim_engine::ClockRatio;
+use iroram_sim_engine::{ClockRatio, FaultConfig};
 
 /// The evaluated configurations (paper Section VI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -112,6 +112,21 @@ pub struct SystemConfig {
     /// flag on or off.
     #[serde(default)]
     pub audit: bool,
+    /// Fault-injection configuration (all rates zero by default; a zero-rate
+    /// config builds no plan and cannot perturb the run in any way).
+    #[serde(default)]
+    pub faults: FaultConfig,
+    /// CPU cycles charged per detected-and-repaired corrupted bucket — the
+    /// modelled cost of re-fetching the bucket from redundancy (IRO's
+    /// recovery path). Folded into the path's read-phase completion, so the
+    /// timing schedule stretches publicly and stays audit-clean.
+    #[serde(default)]
+    pub refetch_lat: u64,
+    /// Hard stash limit in blocks (the modelled SRAM's physical size).
+    /// `0` means 8 × the soft capacity. Crossing it is a transient
+    /// [`crate::SimError::StashOverflow`], not a panic.
+    #[serde(default)]
+    pub stash_hard_limit: usize,
 }
 
 impl SystemConfig {
@@ -159,6 +174,9 @@ impl SystemConfig {
             subtree_group: 4,
             seed: 0x1235,
             audit: false,
+            faults: FaultConfig::none(),
+            refetch_lat: 100,
+            stash_hard_limit: 0,
         };
         base.with_scheme(scheme)
     }
@@ -218,6 +236,16 @@ impl SystemConfig {
     /// Number of protected data blocks.
     pub fn data_blocks(&self) -> u64 {
         self.oram.data_blocks
+    }
+
+    /// The hard stash limit in force (`stash_hard_limit`, defaulting to
+    /// 8 × the soft capacity when unset).
+    pub fn effective_stash_hard_limit(&self) -> usize {
+        if self.stash_hard_limit > 0 {
+            self.stash_hard_limit
+        } else {
+            self.oram.stash_capacity * 8
+        }
     }
 
     /// Renders the configuration as the paper's Table I rows.

@@ -5,11 +5,11 @@ use std::collections::VecDeque;
 use iroram_cache::MemoryHierarchy;
 use serde::{Deserialize, Serialize};
 use iroram_dram::{DramSystem, MemRequest, SubtreeLayout};
-use iroram_protocol::{BlockAddr, PathOram, PathRecord, RemapPolicy};
-use iroram_sim_engine::{ClockRatio, Cycle};
+use iroram_protocol::{BlockAddr, IntegrityStats, PathOram, PathRecord, RemapPolicy};
+use iroram_sim_engine::{ClockRatio, Cycle, FaultPlan, InjectedFaults};
 
 use crate::audit::{AuditReport, AuditState};
-use crate::{DwbEngine, SystemConfig};
+use crate::{DwbEngine, SimError, SystemConfig};
 
 /// Identifier of an in-flight ORAM request.
 pub type ReqId = u64;
@@ -40,6 +40,22 @@ pub struct SlotStats {
     pub dummy_slots: u64,
     /// Slots converted by IR-DWB.
     pub converted_slots: u64,
+}
+
+/// Stash soft-capacity pressure accounting. The soft capacity is a
+/// background-eviction trigger, not a wall (Stefanov et al. treat overflow
+/// as a probabilistic event); these counters measure how hard the workload
+/// leaned on it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StashPressure {
+    /// Configured soft capacity (background-eviction trigger).
+    pub soft_capacity: u64,
+    /// Stash occupancy high-water mark.
+    pub max_occupancy: u64,
+    /// Slots that began with the stash over its soft capacity.
+    pub overflow_slots: u64,
+    /// Idle→pending transitions of the background-eviction condition.
+    pub bg_escalations: u64,
 }
 
 #[derive(Debug)]
@@ -82,6 +98,23 @@ pub struct TimedController {
     slot_stats: SlotStats,
     last_write_done: Cycle,
     audit: Option<Box<AuditState>>,
+    /// Fault plan (None when every rate is zero — the common case).
+    faults: Option<FaultPlan>,
+    /// CPU cycles charged per detected-and-repaired corrupted bucket.
+    refetch_lat: u64,
+    /// Hard stash limit; crossing it is a transient `SimError`.
+    stash_hard_limit: usize,
+    /// Integrity detections already charged a re-fetch penalty.
+    seen_detected: u64,
+    /// Total re-fetch penalty cycles charged so far.
+    penalty_cycles: u64,
+    /// Whether a stash-pressure storm suppresses bg eviction this slot.
+    storm_now: bool,
+    /// Previous slot's bg-eviction-pending state (escalation edges).
+    was_bg_pending: bool,
+    overflow_slots: u64,
+    bg_escalations: u64,
+    slots_done: u64,
 }
 
 impl TimedController {
@@ -124,6 +157,16 @@ impl TimedController {
             slot_stats: SlotStats::default(),
             last_write_done: Cycle::ZERO,
             audit: cfg.audit.then(|| Box::new(AuditState::new())),
+            faults: FaultPlan::new(&cfg.faults, cfg.seed ^ 0xFA01_7C01),
+            refetch_lat: cfg.refetch_lat,
+            stash_hard_limit: cfg.effective_stash_hard_limit(),
+            seen_detected: 0,
+            penalty_cycles: 0,
+            storm_now: false,
+            was_bg_pending: false,
+            overflow_slots: 0,
+            bg_escalations: 0,
+            slots_done: 0,
         }
     }
 
@@ -158,6 +201,36 @@ impl TimedController {
     /// IR-DWB statistics, if the engine is enabled.
     pub fn dwb_stats(&self) -> Option<crate::dwb::DwbStats> {
         self.dwb.as_ref().map(|d| *d.stats())
+    }
+
+    /// Integrity-layer counters (injected / detected / recovered /
+    /// undetected corruptions in the tree).
+    pub fn integrity_stats(&self) -> IntegrityStats {
+        self.protocol.integrity_stats()
+    }
+
+    /// Counters for faults the plan actually injected (zeros with no plan).
+    pub fn fault_injected(&self) -> InjectedFaults {
+        self.faults
+            .as_ref()
+            .map(|p| p.injected())
+            .unwrap_or_default()
+    }
+
+    /// Total CPU cycles of re-fetch penalty charged for detected
+    /// corruption.
+    pub fn refetch_penalty_cycles(&self) -> u64 {
+        self.penalty_cycles
+    }
+
+    /// Stash soft-capacity pressure accounting.
+    pub fn stash_pressure(&self) -> StashPressure {
+        StashPressure {
+            soft_capacity: self.protocol.config().stash_capacity as u64,
+            max_occupancy: self.protocol.stash_peak() as u64,
+            overflow_slots: self.overflow_slots,
+            bg_escalations: self.bg_escalations,
+        }
     }
 
     /// Pending request-queue depth (for CPU back-pressure).
@@ -235,33 +308,34 @@ impl TimedController {
     }
 
     /// Processes every slot due at or before `now`.
-    pub fn advance_until(&mut self, now: Cycle, hierarchy: &mut MemoryHierarchy) {
+    pub fn advance_until(
+        &mut self,
+        now: Cycle,
+        hierarchy: &mut MemoryHierarchy,
+    ) -> Result<(), SimError> {
         while self.next_slot <= now {
-            self.process_slot(hierarchy);
+            self.process_slot(hierarchy)?;
         }
+        Ok(())
     }
 
     /// Advances slots until request `id` completes, returning its completion
-    /// time.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the request is unknown (never submitted) — the queue is
-    /// FIFO, so a submitted request always completes.
+    /// time. An unknown request (never submitted) surfaces as
+    /// [`SimError::RequestStuck`] — the queue is FIFO, so a submitted
+    /// request always completes.
     pub fn advance_until_complete(
         &mut self,
         id: ReqId,
         hierarchy: &mut MemoryHierarchy,
-    ) -> Cycle {
+    ) -> Result<Cycle, SimError> {
         loop {
             if let Some(&(_, done)) = self.completions.iter().find(|&&(rid, _)| rid == id) {
-                return done;
+                return Ok(done);
             }
-            assert!(
-                self.has_real_work(),
-                "request {id} cannot complete: no work pending"
-            );
-            self.process_slot(hierarchy);
+            if !self.has_real_work() {
+                return Err(SimError::RequestStuck { id });
+            }
+            self.process_slot(hierarchy)?;
         }
     }
 
@@ -271,25 +345,25 @@ impl TimedController {
         &mut self,
         limit: usize,
         hierarchy: &mut MemoryHierarchy,
-    ) -> Cycle {
+    ) -> Result<Cycle, SimError> {
         while self.queue_len() >= limit {
-            self.process_slot(hierarchy);
+            self.process_slot(hierarchy)?;
         }
-        self.next_slot
+        Ok(self.next_slot)
     }
 
     /// Runs slots until all real work drains. Returns the time the last
     /// path's write phase finished.
-    pub fn drain(&mut self, hierarchy: &mut MemoryHierarchy) -> Cycle {
+    pub fn drain(&mut self, hierarchy: &mut MemoryHierarchy) -> Result<Cycle, SimError> {
         while self.has_real_work() {
-            self.process_slot(hierarchy);
+            self.process_slot(hierarchy)?;
         }
-        self.last_write_done.max(self.next_slot)
+        Ok(self.last_write_done.max(self.next_slot))
     }
 
     /// Issues one slot. Public for lock-step tests; normal callers use the
     /// `advance_*` methods.
-    pub fn process_slot(&mut self, hierarchy: &mut MemoryHierarchy) {
+    pub fn process_slot(&mut self, hierarchy: &mut MemoryHierarchy) -> Result<(), SimError> {
         if let Some(audit) = &mut self.audit {
             // IR-DWB state is quiescent between slots: victim, scanner lock
             // and the LLC's dirty bit must agree.
@@ -303,6 +377,34 @@ impl TimedController {
                 audit.note_structural("protocol", self.protocol.check_invariants());
             }
         }
+        // Fault plan: one storm/corruption decision per slot, before any
+        // protocol work (a corrupted bucket may sit on this very path).
+        self.storm_now = false;
+        if let Some(plan) = &mut self.faults {
+            self.storm_now = plan.storm_active();
+            if let Some((pick, mask)) = plan.corrupt_line() {
+                self.inject_corruption(pick, mask);
+            }
+        }
+        // Stash pressure: sampled at slot boundaries, plus the hard limit
+        // that turns unbounded growth into a typed transient error.
+        let occupancy = self.protocol.stash_len();
+        if occupancy > self.protocol.config().stash_capacity {
+            self.overflow_slots += 1;
+        }
+        let pending = self.protocol.bg_evict_pending();
+        if pending && !self.was_bg_pending {
+            self.bg_escalations += 1;
+        }
+        self.was_bg_pending = pending;
+        if occupancy > self.stash_hard_limit {
+            return Err(SimError::StashOverflow {
+                occupancy,
+                hard_limit: self.stash_hard_limit,
+                slot: self.slots_done,
+            });
+        }
+        self.slots_done += 1;
         let t = self.next_slot;
         let mut issued: Option<PathRecord> = None;
         let mut completes: Option<ReqId> = None;
@@ -381,13 +483,14 @@ impl TimedController {
                 }
                 None => {}
             }
-            // Background eviction outranks new work: the stash must drain.
-            if self.protocol.bg_evict_pending() {
+            // Background eviction outranks new work: the stash must drain —
+            // unless a fault-injected storm is suppressing it.
+            if !self.storm_now && self.protocol.bg_evict_pending() {
                 issued = Some(self.protocol.bg_evict_once());
                 self.slot_stats.bg_slots += 1;
                 self.slot_stats.total_slots += 1;
                 self.finish_path(t, issued.expect("just issued"), None);
-                return;
+                return Ok(());
             }
             // Start the next demand request that has arrived.
             if self
@@ -423,7 +526,7 @@ impl TimedController {
                         self.slot_stats.total_slots += 1;
                         self.slot_stats.converted_slots += 1;
                         self.finish_path(t, path, None);
-                        return;
+                        return Ok(());
                     }
                     self.dwb = Some(dwb);
                 }
@@ -443,13 +546,34 @@ impl TimedController {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Maps a fault-plan corruption draw onto one memory bucket slot and
+    /// flips its stored payload.
+    fn inject_corruption(&mut self, pick: u64, mask: u64) {
+        let cached = self.protocol.config().treetop.cached_levels();
+        let levels = self.protocol.config().levels;
+        if cached >= levels {
+            return; // whole tree on-chip: nothing off-chip to corrupt
+        }
+        let span = (levels - cached) as u64;
+        let level = cached + (pick % span) as usize;
+        let bucket = (pick >> 8) % (1u64 << level);
+        let z = self.protocol.layout().z_of(level) as u64;
+        let slot = ((pick >> 40) % z) as u32;
+        self.protocol.inject_tree_fault(level, bucket, slot, mask);
     }
 
     /// Schedules the path's DRAM traffic and advances the slot clock.
     fn finish_path(&mut self, t: Cycle, path: PathRecord, completes: Option<ReqId>) {
         let lines = self.layout_mem.path_slots(path.leaf.0, 0);
         let req_before = self.dram.stats().requests;
-        let arrival = self.clock.fast_to_slow(t);
+        // Transient bank stall: the batch reaches the memory controller
+        // late; everything downstream (including the timing audit's floor)
+        // sees the shifted completion.
+        let stall = self.faults.as_mut().map_or(0, |p| p.bank_stall());
+        let arrival = self.clock.fast_to_slow(t) + stall;
         let reads: Vec<MemRequest> = lines
             .iter()
             .map(|&a| MemRequest::read(a, arrival))
@@ -460,7 +584,16 @@ impl TimedController {
             .map(|&a| MemRequest::write(a, read_done))
             .collect();
         let write_done = self.dram.schedule_batch_done(&writes, read_done);
-        let read_done_cpu = self.clock.slow_to_fast(read_done) + self.decrypt_lat;
+        // Re-fetch penalty: every corruption this path's read phase detected
+        // and repaired stretches the read-phase completion — the public
+        // occupancy floor — so recovery is a measured timing cost, not a
+        // schedule violation.
+        let detected = self.protocol.integrity_stats().detected;
+        let penalty = (detected - self.seen_detected) * self.refetch_lat;
+        self.seen_detected = detected;
+        self.penalty_cycles += penalty;
+        let read_floor_cpu = self.clock.slow_to_fast(read_done) + penalty;
+        let read_done_cpu = read_floor_cpu + self.decrypt_lat;
         let write_done_cpu = self.clock.slow_to_fast(write_done);
         self.last_write_done = self.last_write_done.max(write_done_cpu);
         if let Some(id) = completes {
@@ -468,12 +601,7 @@ impl TimedController {
         }
         if let Some(audit) = &mut self.audit {
             let cached = self.protocol.config().treetop.cached_levels();
-            audit.note_slot(
-                t,
-                self.t_interval,
-                self.clock.slow_to_fast(read_done),
-                self.timing_protection,
-            );
+            audit.note_slot(t, self.t_interval, read_floor_cpu, self.timing_protection);
             audit.check_conservation(
                 lines.len() as u64,
                 self.protocol.layout().path_len_memory(cached),
@@ -485,7 +613,7 @@ impl TimedController {
         // a path's read phase before issuing the next path; the write phase
         // drains through the memory controller in the background and
         // contends with the next path's reads via DRAM bank/bus state.
-        self.next_slot = (t + self.t_interval).max(self.clock.slow_to_fast(read_done));
+        self.next_slot = (t + self.t_interval).max(read_floor_cpu);
     }
 }
 
@@ -531,7 +659,7 @@ mod tests {
             arrival: Cycle(0),
             blocking: true,
         });
-        let done = ctl.advance_until_complete(1, &mut h);
+        let done = ctl.advance_until_complete(1, &mut h).unwrap();
         assert!(done > Cycle(0));
         assert!(ctl.slot_stats().total_slots >= 1);
     }
@@ -543,7 +671,7 @@ mod tests {
         let mut h = hierarchy(&cfg);
         // Run 50 dummy slots.
         for _ in 0..50 {
-            ctl.process_slot(&mut h);
+            ctl.process_slot(&mut h).unwrap();
         }
         let s = ctl.slot_stats();
         assert_eq!(s.total_slots, 50);
@@ -557,7 +685,7 @@ mod tests {
         let cfg = tiny_system(Scheme::Baseline);
         let mut ctl = TimedController::new(&cfg);
         let mut h = hierarchy(&cfg);
-        ctl.process_slot(&mut h);
+        ctl.process_slot(&mut h).unwrap();
         let per_path = ctl.dram_stats().requests;
         assert_eq!(
             per_path,
@@ -573,7 +701,7 @@ mod tests {
         let mut ctl = TimedController::new(&cfg);
         let mut h = hierarchy(&cfg);
         for _ in 0..20 {
-            ctl.process_slot(&mut h);
+            ctl.process_slot(&mut h).unwrap();
         }
         assert_eq!(ctl.slot_stats().dummy_slots, 0);
         assert_eq!(ctl.dram_stats().requests, 0);
@@ -613,11 +741,11 @@ mod tests {
             arrival: Cycle(0),
             blocking: true,
         });
-        ctl.advance_until_complete(1, &mut h);
+        ctl.advance_until_complete(1, &mut h).unwrap();
         if ctl.protocol.is_escrowed(BlockAddr(9)) {
             ctl.on_llc_eviction(BlockAddr(9), false, Cycle(10_000), 2);
             assert!(ctl.has_real_work());
-            ctl.drain(&mut h);
+            ctl.drain(&mut h).unwrap();
             assert!(!ctl.protocol.is_escrowed(BlockAddr(9)));
         }
     }
@@ -632,7 +760,7 @@ mod tests {
             h.access(a, true);
         }
         for _ in 0..40 {
-            ctl.process_slot(&mut h);
+            ctl.process_slot(&mut h).unwrap();
         }
         let s = ctl.slot_stats();
         assert!(
@@ -666,7 +794,7 @@ mod tests {
             return;
         }
         let last = *ids.last().expect("nonempty");
-        ctl.advance_until_complete(last, &mut h);
+        ctl.advance_until_complete(last, &mut h).unwrap();
         let completions = ctl.take_completions();
         let order: Vec<ReqId> = completions.iter().map(|&(i, _)| i).collect();
         let mut sorted = order.clone();

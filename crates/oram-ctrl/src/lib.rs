@@ -41,13 +41,16 @@ mod config;
 mod controller;
 mod cpu;
 mod dwb;
+mod error;
 mod rho;
 mod sim;
 
 pub use audit::AuditReport;
 pub use config::{Scheme, SystemConfig, ALL_SCHEMES};
-pub use controller::{OramRequest, ReqId, SlotStats, TimedController};
+pub use controller::{OramRequest, ReqId, SlotStats, StashPressure, TimedController};
 pub use cpu::TraceCpu;
-pub use dwb::DwbEngine;
+pub use dwb::{DwbEngine, DwbStats};
+pub use error::SimError;
+pub use iroram_protocol::IntegrityStats;
 pub use rho::RhoController;
-pub use sim::{Backend, RunLimit, SimReport, Simulation};
+pub use sim::{Backend, FaultStats, RunLimit, SimReport, Simulation};

@@ -19,12 +19,13 @@ use std::collections::{HashMap, VecDeque};
 use iroram_cache::MemoryHierarchy;
 use iroram_dram::{DramSystem, MemRequest, SubtreeLayout};
 use iroram_protocol::{
-    BlockAddr, OramConfig, PathOram, PathRecord, RemapPolicy, TreeTopMode, ZAllocation,
+    BlockAddr, IntegrityStats, OramConfig, PathOram, PathRecord, RemapPolicy, TreeTopMode,
+    ZAllocation,
 };
-use iroram_sim_engine::{ClockRatio, Cycle};
+use iroram_sim_engine::{ClockRatio, Cycle, FaultPlan, InjectedFaults};
 
 use crate::audit::{AuditReport, AuditState};
-use crate::{OramRequest, ReqId, SlotStats, SystemConfig};
+use crate::{OramRequest, ReqId, SimError, SlotStats, StashPressure, SystemConfig};
 
 #[derive(Debug)]
 enum MainWork {
@@ -95,6 +96,21 @@ pub struct RhoController {
     /// Audit state (main tree only: small-tree slots are re-used by
     /// different data blocks, so their payloads carry no oracle contract).
     audit: Option<Box<AuditState>>,
+    /// Fault plan (None when every rate is zero — the common case).
+    faults: Option<FaultPlan>,
+    /// CPU cycles charged per detected-and-repaired corrupted bucket.
+    refetch_lat: u64,
+    /// Hard limit on either stash; crossing it is a transient `SimError`.
+    stash_hard_limit: usize,
+    /// Integrity detections (both trees) already charged a penalty.
+    seen_detected: u64,
+    penalty_cycles: u64,
+    /// Whether a stash-pressure storm suppresses bg eviction this slot.
+    storm_now: bool,
+    was_bg_pending: bool,
+    overflow_slots: u64,
+    bg_escalations: u64,
+    slots_done: u64,
 }
 
 impl RhoController {
@@ -119,6 +135,7 @@ impl RhoController {
             remap: RemapPolicy::Immediate,
             max_bg_evicts_per_access: cfg.oram.max_bg_evicts_per_access,
             encrypt_payloads: cfg.oram.encrypt_payloads,
+            integrity: cfg.oram.integrity,
             seed: cfg.oram.seed ^ 0x5A11,
         };
         let mut small = PathOram::new(small_cfg);
@@ -166,6 +183,16 @@ impl RhoController {
             reuse_order: VecDeque::new(),
             reuse_capacity: 2 * n_slots,
             audit: cfg.audit.then(|| Box::new(AuditState::new())),
+            faults: FaultPlan::new(&cfg.faults, cfg.seed ^ 0xFA01_7C01),
+            refetch_lat: cfg.refetch_lat,
+            stash_hard_limit: cfg.effective_stash_hard_limit(),
+            seen_detected: 0,
+            penalty_cycles: 0,
+            storm_now: false,
+            was_bg_pending: false,
+            overflow_slots: 0,
+            bg_escalations: 0,
+            slots_done: 0,
         }
     }
 
@@ -190,6 +217,43 @@ impl RhoController {
     /// Slot accounting.
     pub fn slot_stats(&self) -> &SlotStats {
         &self.slot_stats
+    }
+
+    /// Merged integrity counters of both trees.
+    pub fn integrity_stats(&self) -> IntegrityStats {
+        let m = self.main.integrity_stats();
+        let s = self.small.integrity_stats();
+        IntegrityStats {
+            injected: m.injected + s.injected,
+            detected: m.detected + s.detected,
+            recovered: m.recovered + s.recovered,
+            undetected: m.undetected + s.undetected,
+        }
+    }
+
+    /// Counters for faults the plan actually injected (zeros with no plan).
+    pub fn fault_injected(&self) -> InjectedFaults {
+        self.faults
+            .as_ref()
+            .map(|p| p.injected())
+            .unwrap_or_default()
+    }
+
+    /// Total CPU cycles of re-fetch penalty charged for detected
+    /// corruption.
+    pub fn refetch_penalty_cycles(&self) -> u64 {
+        self.penalty_cycles
+    }
+
+    /// Stash pressure (main-tree soft capacity; occupancy high-water mark
+    /// over both stashes).
+    pub fn stash_pressure(&self) -> StashPressure {
+        StashPressure {
+            soft_capacity: self.main.config().stash_capacity as u64,
+            max_occupancy: self.main.stash_peak().max(self.small.stash_peak()) as u64,
+            overflow_slots: self.overflow_slots,
+            bg_escalations: self.bg_escalations,
+        }
     }
 
     /// Demand-queue depth (for CPU back-pressure).
@@ -294,31 +358,32 @@ impl RhoController {
     }
 
     /// Processes every slot due at or before `now`.
-    pub fn advance_until(&mut self, now: Cycle, hierarchy: &mut MemoryHierarchy) {
+    pub fn advance_until(
+        &mut self,
+        now: Cycle,
+        hierarchy: &mut MemoryHierarchy,
+    ) -> Result<(), SimError> {
         while self.next_slot <= now {
-            self.process_slot(hierarchy);
+            self.process_slot(hierarchy)?;
         }
+        Ok(())
     }
 
-    /// Advances until request `id` completes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the request was never submitted.
+    /// Advances until request `id` completes. An unknown request (never
+    /// submitted) surfaces as [`SimError::RequestStuck`].
     pub fn advance_until_complete(
         &mut self,
         id: ReqId,
         hierarchy: &mut MemoryHierarchy,
-    ) -> Cycle {
+    ) -> Result<Cycle, SimError> {
         loop {
             if let Some(&(_, done)) = self.completions.iter().find(|&&(rid, _)| rid == id) {
-                return done;
+                return Ok(done);
             }
-            assert!(
-                self.has_real_work(),
-                "request {id} cannot complete: no work pending"
-            );
-            self.process_slot(hierarchy);
+            if !self.has_real_work() {
+                return Err(SimError::RequestStuck { id });
+            }
+            self.process_slot(hierarchy)?;
         }
     }
 
@@ -327,31 +392,58 @@ impl RhoController {
         &mut self,
         limit: usize,
         hierarchy: &mut MemoryHierarchy,
-    ) -> Cycle {
+    ) -> Result<Cycle, SimError> {
         while self.queue_len() >= limit {
-            self.process_slot(hierarchy);
+            self.process_slot(hierarchy)?;
         }
-        self.next_slot
+        Ok(self.next_slot)
     }
 
     /// Runs until all real work drains.
-    pub fn drain(&mut self, hierarchy: &mut MemoryHierarchy) -> Cycle {
+    pub fn drain(&mut self, hierarchy: &mut MemoryHierarchy) -> Result<Cycle, SimError> {
         while self.has_real_work() {
-            self.process_slot(hierarchy);
+            self.process_slot(hierarchy)?;
         }
-        self.last_write_done.max(self.next_slot)
+        Ok(self.last_write_done.max(self.next_slot))
     }
 
     /// Issues one slot following the 1 main : 2 small fixed pattern.
-    pub fn process_slot(&mut self, _hierarchy: &mut MemoryHierarchy) {
+    pub fn process_slot(&mut self, _hierarchy: &mut MemoryHierarchy) -> Result<(), SimError> {
         if let Some(audit) = &mut self.audit {
             if audit.structural_due() {
                 audit.note_structural("main tree", self.main.check_invariants());
                 audit.note_structural("small tree", self.small.check_invariants());
             }
         }
+        // Fault plan: one storm/corruption decision per slot (corruption
+        // targets the main tree — the off-chip bulk of ρ's storage).
+        self.storm_now = false;
+        if let Some(plan) = &mut self.faults {
+            self.storm_now = plan.storm_active();
+            if let Some((pick, mask)) = plan.corrupt_line() {
+                self.inject_corruption(pick, mask);
+            }
+        }
+        // Stash pressure over both trees, plus the hard limit.
+        let occupancy = self.main.stash_len().max(self.small.stash_len());
+        if occupancy > self.main.config().stash_capacity {
+            self.overflow_slots += 1;
+        }
+        let pending = self.main.bg_evict_pending() || self.small.bg_evict_pending();
+        if pending && !self.was_bg_pending {
+            self.bg_escalations += 1;
+        }
+        self.was_bg_pending = pending;
+        if occupancy > self.stash_hard_limit {
+            return Err(SimError::StashOverflow {
+                occupancy,
+                hard_limit: self.stash_hard_limit,
+                slot: self.slots_done,
+            });
+        }
+        self.slots_done += 1;
         let t = self.next_slot;
-        let is_main = self.slot_idx % 3 == 0;
+        let is_main = self.slot_idx.is_multiple_of(3);
         self.slot_idx += 1;
         let issued = if is_main {
             self.main_slot(t)
@@ -379,6 +471,23 @@ impl RhoController {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Maps a fault-plan corruption draw onto one main-tree memory bucket
+    /// slot and flips its stored payload.
+    fn inject_corruption(&mut self, pick: u64, mask: u64) {
+        let cached = self.main.config().treetop.cached_levels();
+        let levels = self.main.config().levels;
+        if cached >= levels {
+            return;
+        }
+        let span = (levels - cached) as u64;
+        let level = cached + (pick % span) as usize;
+        let bucket = (pick >> 8) % (1u64 << level);
+        let z = self.main.layout().z_of(level) as u64;
+        let slot = ((pick >> 40) % z) as u32;
+        self.main.inject_tree_fault(level, bucket, slot, mask);
     }
 
     /// Finds the path for a main-tree slot.
@@ -461,7 +570,7 @@ impl RhoController {
                 }
                 None => {}
             }
-            if self.main.bg_evict_pending() {
+            if !self.storm_now && self.main.bg_evict_pending() {
                 self.slot_stats.bg_slots += 1;
                 return Some((self.main.bg_evict_once(), false, None));
             }
@@ -515,7 +624,7 @@ impl RhoController {
                 }
                 None => {}
             }
-            if self.small.bg_evict_pending() {
+            if !self.storm_now && self.small.bg_evict_pending() {
                 self.slot_stats.bg_slots += 1;
                 return Some((self.small.bg_evict_once(), true, None));
             }
@@ -576,7 +685,9 @@ impl RhoController {
             .map(|a| a + offset)
             .collect();
         let req_before = self.dram.stats().requests;
-        let arrival = self.clock.fast_to_slow(t);
+        // Transient bank stall (see `TimedController::finish_path`).
+        let stall = self.faults.as_mut().map_or(0, |p| p.bank_stall());
+        let arrival = self.clock.fast_to_slow(t) + stall;
         let reads: Vec<MemRequest> = lines
             .iter()
             .map(|&a| MemRequest::read(a, arrival))
@@ -587,7 +698,14 @@ impl RhoController {
             .map(|&a| MemRequest::write(a, read_done))
             .collect();
         let write_done = self.dram.schedule_batch_done(&writes, read_done);
-        let read_done_cpu = self.clock.slow_to_fast(read_done) + self.decrypt_lat;
+        // Re-fetch penalty for corruption detected by this path's read
+        // phase (see `TimedController::finish_path`).
+        let detected = self.integrity_stats().detected;
+        let penalty = (detected - self.seen_detected) * self.refetch_lat;
+        self.seen_detected = detected;
+        self.penalty_cycles += penalty;
+        let read_floor_cpu = self.clock.slow_to_fast(read_done) + penalty;
+        let read_done_cpu = read_floor_cpu + self.decrypt_lat;
         let write_done_cpu = self.clock.slow_to_fast(write_done);
         self.last_write_done = self.last_write_done.max(write_done_cpu);
         if let Some(id) = completes {
@@ -600,12 +718,7 @@ impl RhoController {
                 let cached = self.main.config().treetop.cached_levels();
                 self.main.layout().path_len_memory(cached)
             };
-            audit.note_slot(
-                t,
-                self.t_interval,
-                self.clock.slow_to_fast(read_done),
-                self.timing_protection,
-            );
+            audit.note_slot(t, self.t_interval, read_floor_cpu, self.timing_protection);
             audit.check_conservation(
                 lines.len() as u64,
                 expected,
@@ -615,7 +728,7 @@ impl RhoController {
         }
         // See `TimedController::finish_path`: pace on the read phase; the
         // write phase overlaps the next path through DRAM state.
-        self.next_slot = (t + self.t_interval).max(self.clock.slow_to_fast(read_done));
+        self.next_slot = (t + self.t_interval).max(read_floor_cpu);
     }
 }
 
@@ -657,9 +770,9 @@ mod tests {
             arrival: Cycle(0),
             blocking: true,
         });
-        let done = rho.advance_until_complete(1, &mut h);
+        let done = rho.advance_until_complete(1, &mut h).unwrap();
         assert!(done > Cycle(0));
-        rho.drain(&mut h);
+        rho.drain(&mut h).unwrap();
         assert!(
             !rho.directory.contains_key(&addr.0),
             "cold first touch must not install"
@@ -672,8 +785,8 @@ mod tests {
                 arrival: Cycle(1_000_000),
                 blocking: true,
             });
-            rho.advance_until_complete(2, &mut h);
-            rho.drain(&mut h);
+            rho.advance_until_complete(2, &mut h).unwrap();
+            rho.drain(&mut h).unwrap();
             assert!(
                 rho.directory.contains_key(&addr.0),
                 "re-referenced block installs in the small tree"
@@ -697,8 +810,8 @@ mod tests {
                     arrival: Cycle(t),
                     blocking: true,
                 });
-                rho.advance_until_complete(id, &mut h);
-                rho.drain(&mut h);
+                rho.advance_until_complete(id, &mut h).unwrap();
+                rho.drain(&mut h).unwrap();
             }
         }
         if !rho.directory.contains_key(&addr.0) {
@@ -713,7 +826,7 @@ mod tests {
                 arrival: Cycle(2_000_000),
                 blocking: true,
             });
-            rho.advance_until_complete(99, &mut h);
+            rho.advance_until_complete(99, &mut h).unwrap();
         }
         assert_eq!(
             rho.main.stats().data_paths,
@@ -726,7 +839,7 @@ mod tests {
     fn fixed_pattern_issues_dummies_of_both_kinds() {
         let (mut rho, mut h) = tiny_rho();
         for _ in 0..30 {
-            rho.process_slot(&mut h);
+            rho.process_slot(&mut h).unwrap();
         }
         assert_eq!(rho.slot_stats().dummy_slots, 30);
         assert!(rho.main.stats().dummy_paths >= 9);
@@ -753,7 +866,7 @@ mod tests {
                     });
                 }
             }
-            rho.drain(&mut h);
+            rho.drain(&mut h).unwrap();
         }
         assert!(
             rho.directory.len() <= capacity,

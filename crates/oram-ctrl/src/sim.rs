@@ -4,14 +4,18 @@ use serde::{Deserialize, Serialize};
 
 use iroram_cache::{AccessOutcome, HierarchyStats, MemoryHierarchy};
 use iroram_dram::DramStats;
-use iroram_protocol::{BlockAddr, ProtocolStats};
-use iroram_sim_engine::Cycle;
+use iroram_protocol::{BlockAddr, IntegrityStats, ProtocolStats};
+use iroram_sim_engine::{Cycle, FaultPlan};
 use iroram_trace::{Bench, WorkloadGen};
 
 use crate::audit::AuditReport;
+use crate::controller::StashPressure;
 use crate::cpu::IssueCheck;
 use crate::dwb::DwbStats;
-use crate::{OramRequest, RhoController, Scheme, SlotStats, SystemConfig, TimedController, TraceCpu};
+use crate::{
+    OramRequest, RhoController, Scheme, SimError, SlotStats, SystemConfig, TimedController,
+    TraceCpu,
+};
 
 /// Demand-queue depth at which the core stalls (miss-queue back-pressure).
 const MAX_QUEUE: usize = 16;
@@ -34,9 +38,10 @@ impl RunLimit {
 #[derive(Debug)]
 pub enum Backend {
     /// Single-tree controller (everything except ρ).
-    Single(TimedController),
-    /// The dual-tree ρ controller.
-    Rho(RhoController),
+    Single(Box<TimedController>),
+    /// The dual-tree ρ controller (boxed: it embeds two full protocol
+    /// instances and dwarfs the single-tree variant).
+    Rho(Box<RhoController>),
 }
 
 macro_rules! delegate {
@@ -52,9 +57,9 @@ impl Backend {
     /// Builds the backend for `cfg`.
     pub fn new(cfg: &SystemConfig) -> Self {
         if cfg.scheme.uses_rho() {
-            Backend::Rho(RhoController::new(cfg))
+            Backend::Rho(Box::new(RhoController::new(cfg)))
         } else {
-            Backend::Single(TimedController::new(cfg))
+            Backend::Single(Box::new(TimedController::new(cfg)))
         }
     }
 
@@ -74,20 +79,44 @@ impl Backend {
         delegate!(self, b => b.take_completions())
     }
 
-    fn advance_until(&mut self, now: Cycle, h: &mut MemoryHierarchy) {
+    fn advance_until(&mut self, now: Cycle, h: &mut MemoryHierarchy) -> Result<(), SimError> {
         delegate!(self, b => b.advance_until(now, h))
     }
 
-    fn advance_until_complete(&mut self, id: u64, h: &mut MemoryHierarchy) -> Cycle {
+    fn advance_until_complete(
+        &mut self,
+        id: u64,
+        h: &mut MemoryHierarchy,
+    ) -> Result<Cycle, SimError> {
         delegate!(self, b => b.advance_until_complete(id, h))
     }
 
-    fn advance_until_queue_below(&mut self, limit: usize, h: &mut MemoryHierarchy) -> Cycle {
+    fn advance_until_queue_below(
+        &mut self,
+        limit: usize,
+        h: &mut MemoryHierarchy,
+    ) -> Result<Cycle, SimError> {
         delegate!(self, b => b.advance_until_queue_below(limit, h))
     }
 
-    fn drain(&mut self, h: &mut MemoryHierarchy) -> Cycle {
+    fn drain(&mut self, h: &mut MemoryHierarchy) -> Result<Cycle, SimError> {
         delegate!(self, b => b.drain(h))
+    }
+
+    fn integrity_stats(&self) -> IntegrityStats {
+        delegate!(self, b => b.integrity_stats())
+    }
+
+    fn fault_injected(&self) -> iroram_sim_engine::InjectedFaults {
+        delegate!(self, b => b.fault_injected())
+    }
+
+    fn refetch_penalty_cycles(&self) -> u64 {
+        delegate!(self, b => b.refetch_penalty_cycles())
+    }
+
+    fn stash_pressure(&self) -> StashPressure {
+        delegate!(self, b => b.stash_pressure())
     }
 
     fn queue_len(&self) -> usize {
@@ -135,6 +164,32 @@ impl Backend {
     }
 }
 
+/// Fault-injection and integrity accounting for one run. All-zero when no
+/// fault plan was active and the memory image stayed clean.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// DRAM line corruptions injected by the fault plan.
+    pub injected_corruptions: u64,
+    /// Corruptions the integrity layer detected on a path read.
+    pub detected: u64,
+    /// Detected corruptions repaired by the modelled re-fetch.
+    pub recovered: u64,
+    /// Corruptions consumed by the protocol without detection.
+    pub undetected: u64,
+    /// Transient bank stalls injected.
+    pub bank_stalls: u64,
+    /// Total DRAM cycles added by bank stalls.
+    pub stall_cycles: u64,
+    /// Stash-pressure storms (bg-eviction suppression windows) started.
+    pub storms: u64,
+    /// Trace records the fault plan mangled.
+    pub mangled_records: u64,
+    /// Malformed trace records rejected by input validation.
+    pub rejected_records: u64,
+    /// CPU cycles of re-fetch penalty charged for detected corruption.
+    pub refetch_penalty_cycles: u64,
+}
+
 /// Results of one full-system run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
@@ -160,6 +215,12 @@ pub struct SimReport {
     pub hierarchy: HierarchyStats,
     /// IR-DWB statistics, when the engine ran.
     pub dwb: Option<DwbStats>,
+    /// Fault-injection and integrity accounting (all-zero when clean).
+    #[serde(default)]
+    pub faults: FaultStats,
+    /// Stash pressure observed over the run.
+    #[serde(default)]
+    pub stash: StashPressure,
 }
 
 impl SimReport {
@@ -224,55 +285,137 @@ pub struct Simulation;
 
 impl Simulation {
     /// Runs `bench`'s calibrated workload on `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`SimError`]; use [`Simulation::try_run_bench`] to handle
+    /// failures.
     pub fn run_bench(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> SimReport {
+        Self::try_run_bench(cfg, bench, limit)
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// Fallible form of [`Simulation::run_bench`].
+    pub fn try_run_bench(
+        cfg: &SystemConfig,
+        bench: Bench,
+        limit: RunLimit,
+    ) -> Result<SimReport, SimError> {
         let gen = WorkloadGen::for_bench(bench, cfg.data_blocks(), cfg.seed);
-        Self::run(cfg, gen, limit, bench.name())
+        Ok(Self::try_run_audited(cfg, gen, limit, bench.name())?.0)
     }
 
     /// Like [`Simulation::run_bench`], also returning the audit results
     /// (Some iff `cfg.audit`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`SimError`]; use [`Simulation::try_run_bench_audited`].
     pub fn run_bench_audited(
         cfg: &SystemConfig,
         bench: Bench,
         limit: RunLimit,
     ) -> (SimReport, Option<AuditReport>) {
+        Self::try_run_bench_audited(cfg, bench, limit)
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// Fallible form of [`Simulation::run_bench_audited`].
+    pub fn try_run_bench_audited(
+        cfg: &SystemConfig,
+        bench: Bench,
+        limit: RunLimit,
+    ) -> Result<(SimReport, Option<AuditReport>), SimError> {
         let gen = WorkloadGen::for_bench(bench, cfg.data_blocks(), cfg.seed);
-        Self::run_audited(cfg, gen, limit, bench.name())
+        Self::try_run_audited(cfg, gen, limit, bench.name())
     }
 
     /// Runs an arbitrary workload generator on `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`SimError`].
     pub fn run(
         cfg: &SystemConfig,
         gen: WorkloadGen,
         limit: RunLimit,
         workload: &str,
     ) -> SimReport {
-        Self::run_audited(cfg, gen, limit, workload).0
+        Self::try_run_audited(cfg, gen, limit, workload)
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+            .0
     }
 
     /// Like [`Simulation::run`], also returning the audit results (Some iff
     /// `cfg.audit`). Auditing observes only: the [`SimReport`] is identical
     /// with the flag on or off.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`SimError`]; use [`Simulation::try_run_audited`].
     pub fn run_audited(
+        cfg: &SystemConfig,
+        gen: WorkloadGen,
+        limit: RunLimit,
+        workload: &str,
+    ) -> (SimReport, Option<AuditReport>) {
+        Self::try_run_audited(cfg, gen, limit, workload)
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// Fallible form of [`Simulation::run_audited`]: every controller-level
+    /// failure (stash overflow past the hard limit, stuck requests,
+    /// malformed trace records with no fault plan to blame) surfaces as a
+    /// typed [`SimError`] instead of a panic.
+    pub fn try_run_audited(
         cfg: &SystemConfig,
         mut gen: WorkloadGen,
         limit: RunLimit,
         workload: &str,
-    ) -> (SimReport, Option<AuditReport>) {
+    ) -> Result<(SimReport, Option<AuditReport>), SimError> {
         let mut backend = Backend::new(cfg);
         let mut hierarchy = MemoryHierarchy::new(cfg.hierarchy);
         let mut cpu = TraceCpu::new(cfg.rob_insts, cfg.ipc, cfg.mshrs);
         let mut next_id: u64 = 1;
         let mut last_completion = Cycle::ZERO;
 
+        // Trace-level fault stream (record mangling), independent of the
+        // controller's plan so the two draw from distinct sequences.
+        let mut trace_plan = FaultPlan::new(&cfg.faults, cfg.seed ^ 0xFA01_7C02);
+        let data_blocks = cfg.data_blocks();
+        let mut rejected_records = 0u64;
+        let mut record_index = 0u64;
+
         let mut ops = 0u64;
         while ops < limit.mem_ops {
-            let rec = gen.next_record();
+            let mut rec = gen.next_record();
+            let index = record_index;
+            record_index += 1;
+            if let Some(plan) = &mut trace_plan {
+                if let Some(m) = plan.mangle_record() {
+                    // Push the address out of the configured population, as
+                    // a bit flip in a stored trace would.
+                    rec.addr = data_blocks + (m % data_blocks.max(1));
+                }
+            }
+            if rec.addr >= data_blocks {
+                if trace_plan.is_some() {
+                    // Under fault injection, validation drops the record
+                    // and the run continues (the robustness contract).
+                    rejected_records += 1;
+                    continue;
+                }
+                return Err(SimError::MalformedRecord {
+                    index,
+                    addr: rec.addr,
+                    data_blocks,
+                });
+            }
             loop {
                 match cpu.try_issue(rec.gap) {
                     IssueCheck::Ready(t) => {
                         if backend.queue_len() >= MAX_QUEUE {
-                            backend.advance_until_queue_below(MAX_QUEUE, &mut hierarchy);
+                            backend.advance_until_queue_below(MAX_QUEUE, &mut hierarchy)?;
                             for (id, done) in backend.take_completions() {
                                 last_completion = last_completion.max(done);
                                 cpu.complete(id, done);
@@ -314,7 +457,7 @@ impl Simulation {
                             cpu.add_miss(id);
                         }
                         ops += 1;
-                        backend.advance_until(cpu.cursor(), &mut hierarchy);
+                        backend.advance_until(cpu.cursor(), &mut hierarchy)?;
                         for (id, done) in backend.take_completions() {
                             last_completion = last_completion.max(done);
                             cpu.complete(id, done);
@@ -322,7 +465,7 @@ impl Simulation {
                         break;
                     }
                     IssueCheck::Blocked(req) => {
-                        backend.advance_until_complete(req, &mut hierarchy);
+                        backend.advance_until_complete(req, &mut hierarchy)?;
                         for (id, done) in backend.take_completions() {
                             last_completion = last_completion.max(done);
                             cpu.complete(id, done);
@@ -332,7 +475,7 @@ impl Simulation {
             }
         }
         // Drain the remaining memory work (queued writes, write-backs).
-        let drain_end = backend.drain(&mut hierarchy);
+        let drain_end = backend.drain(&mut hierarchy)?;
         for (id, done) in backend.take_completions() {
             last_completion = last_completion.max(done);
             cpu.complete(id, done);
@@ -347,6 +490,20 @@ impl Simulation {
         backend.final_audit(&hierarchy);
         let audit = backend.audit_report();
         let (protocol, protocol_small) = backend.protocol_stats();
+        let istats = backend.integrity_stats();
+        let injected = backend.fault_injected();
+        let faults = FaultStats {
+            injected_corruptions: istats.injected,
+            detected: istats.detected,
+            recovered: istats.recovered,
+            undetected: istats.undetected,
+            bank_stalls: injected.stalls,
+            stall_cycles: injected.stall_cycles,
+            storms: injected.storms,
+            mangled_records: injected.mangled_records,
+            rejected_records,
+            refetch_penalty_cycles: backend.refetch_penalty_cycles(),
+        };
         let report = SimReport {
             scheme: cfg.scheme,
             workload: workload.to_owned(),
@@ -359,8 +516,10 @@ impl Simulation {
             dram: backend.dram_stats(),
             hierarchy: *hierarchy.stats(),
             dwb: backend.dwb_stats(),
+            faults,
+            stash: backend.stash_pressure(),
         };
-        (report, audit)
+        Ok((report, audit))
     }
 }
 

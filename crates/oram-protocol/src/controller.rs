@@ -96,6 +96,11 @@ pub struct OramConfig {
     pub max_bg_evicts_per_access: usize,
     /// Store payloads encrypted in the tree (Feistel permutation).
     pub encrypt_payloads: bool,
+    /// IRO-style integrity layer: maintain per-bucket checksums and verify
+    /// every memory bucket on path read, repairing detected corruption
+    /// (modelled re-fetch). With this off, injected corruption flows into
+    /// the stash undetected.
+    pub integrity: bool,
     /// RNG seed; equal seeds give bit-identical protocol behaviour.
     pub seed: u64,
 }
@@ -115,6 +120,7 @@ impl OramConfig {
             remap: RemapPolicy::Immediate,
             max_bg_evicts_per_access: 8,
             encrypt_payloads: true,
+            integrity: true,
             seed: 0xC0FFEE,
         }
     }
@@ -136,6 +142,7 @@ impl OramConfig {
             remap: RemapPolicy::Immediate,
             max_bg_evicts_per_access: 8,
             encrypt_payloads: false,
+            integrity: true,
             seed: 0xC0FFEE,
         }
     }
@@ -309,9 +316,11 @@ impl PathOram {
                 Some(Box::new(IrStashTop::new(&layout, levels, sets, ways)))
             }
         };
+        let mut tree = OramTree::new(layout.clone());
+        tree.set_integrity(cfg.integrity);
         let mut oram = PathOram {
             cipher: FeistelCipher::new(cfg.seed ^ 0x0BAD_5EED),
-            tree: OramTree::new(layout.clone()),
+            tree,
             stash: Stash::new(cfg.stash_capacity),
             posmap,
             top,
@@ -651,6 +660,20 @@ impl PathOram {
         &self.tree
     }
 
+    /// Integrity-layer counters (injected / detected / recovered /
+    /// undetected corruptions).
+    pub fn integrity_stats(&self) -> crate::IntegrityStats {
+        self.tree.integrity_stats()
+    }
+
+    /// Injects a storage fault: XORs `mask` into the payload stored in slot
+    /// `slot` of memory bucket `(level, bucket)` (fault-injection surface
+    /// for the robustness harness; `level` must be a memory level, below
+    /// any on-chip tree top).
+    pub fn inject_tree_fault(&mut self, level: usize, bucket: u64, slot: u32, mask: u64) {
+        self.tree.inject_fault(level, bucket, slot, mask);
+    }
+
     /// Direct access to the stash.
     pub fn stash(&self) -> &Stash {
         &self.stash
@@ -877,6 +900,10 @@ impl PathOram {
                     self.stash.insert(b);
                 }
             } else {
+                // Integrity layer: verify the bucket's checksum before its
+                // contents are trusted; detected corruption is repaired
+                // (re-fetch) and the timing layer charges the penalty.
+                self.tree.verify_and_repair(level, bucket);
                 read_buf.clear();
                 self.tree.take_bucket_into(level, bucket, &mut read_buf);
                 for b in read_buf.drain(..) {

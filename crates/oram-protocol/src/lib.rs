@@ -44,7 +44,7 @@ pub use invariants::InvariantError;
 pub use layout::TreeLayout;
 pub use posmap::{AddressSpace, PlbStatus, PosMapSystem, ENTRIES_PER_BLOCK};
 pub use stash::{Stash, WritebackPlan};
-pub use tree::OramTree;
+pub use tree::{IntegrityStats, OramTree};
 pub use treetop::{DedicatedTreeTop, IrStashTop, TreeTopStore};
 pub use types::{BlockAddr, BlockKind, Leaf, PathRecord, PathType, ServedFrom, StoredBlock};
 pub use zalloc::preset_consts as zalloc_preset;

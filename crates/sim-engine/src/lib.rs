@@ -32,9 +32,11 @@
 
 mod cycles;
 mod events;
+mod faults;
 mod rng;
 pub mod stats;
 
 pub use cycles::{ClockRatio, Cycle};
 pub use events::EventQueue;
+pub use faults::{FaultConfig, FaultPlan, InjectedFaults};
 pub use rng::SimRng;

@@ -9,6 +9,10 @@
 //! count   u64 LE           (8 bytes)
 //! records: addr u64 LE | flags u8 (bit0 = write) | gap u32 LE
 //! ```
+//!
+//! Reading validates strictly and reports a typed [`TraceError`] naming
+//! the offending byte or record, so a corrupt trace file fails with a
+//! diagnosable message instead of feeding garbage into a simulation.
 
 use std::io::{self, Read, Write};
 
@@ -18,6 +22,98 @@ use crate::TraceRecord;
 
 const MAGIC: &[u8; 4] = b"IRTR";
 const VERSION: u32 = 1;
+const RECORD_BYTES: usize = 13;
+
+/// A malformed or unreadable IRTR trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The file does not start with the `IRTR` magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The format version is not one this reader understands.
+    BadVersion {
+        /// The version field's value.
+        found: u32,
+    },
+    /// The file ends inside the 16-byte header.
+    TruncatedHeader {
+        /// Bytes actually present.
+        len: usize,
+    },
+    /// The file ends inside the record array.
+    TruncatedBody {
+        /// Zero-based index of the first record not fully present.
+        record_index: u64,
+        /// Records the header promised.
+        expected: u64,
+    },
+    /// A record's flags byte has bits set that the format does not define.
+    BadFlags {
+        /// Zero-based index of the offending record.
+        record_index: u64,
+        /// The flags byte found.
+        flags: u8,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace IO error: {e}"),
+            TraceError::BadMagic { found } => {
+                write!(f, "bad trace magic {found:02x?} (expected \"IRTR\")")
+            }
+            TraceError::BadVersion { found } => {
+                write!(f, "unsupported trace version {found} (expected {VERSION})")
+            }
+            TraceError::TruncatedHeader { len } => {
+                write!(f, "truncated trace header: {len} of 16 bytes")
+            }
+            TraceError::TruncatedBody {
+                record_index,
+                expected,
+            } => write!(
+                f,
+                "truncated trace body: record {record_index} of {expected} is incomplete"
+            ),
+            TraceError::BadFlags {
+                record_index,
+                flags,
+            } => write!(
+                f,
+                "record {record_index} has undefined flag bits: {flags:#04x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<TraceError> for io::Error {
+    fn from(e: TraceError) -> Self {
+        match e {
+            TraceError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
 
 /// Serializes `records` to `writer` in the IRTR format.
 ///
@@ -25,7 +121,7 @@ const VERSION: u32 = 1;
 ///
 /// Propagates any IO error from `writer`.
 pub fn write_trace<W: Write>(mut writer: W, records: &[TraceRecord]) -> io::Result<()> {
-    let mut buf = BytesMut::with_capacity(16 + records.len() * 13);
+    let mut buf = BytesMut::with_capacity(16 + records.len() * RECORD_BYTES);
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u64_le(records.len() as u64);
@@ -37,40 +133,50 @@ pub fn write_trace<W: Write>(mut writer: W, records: &[TraceRecord]) -> io::Resu
     writer.write_all(&buf)
 }
 
-/// Reads an IRTR trace from `reader`.
+/// Reads an IRTR trace from `reader`, validating magic, version, length,
+/// and every record's flags byte.
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on magic/version mismatch or truncation, and
-/// propagates IO errors from `reader`.
-pub fn read_trace<R: Read>(mut reader: R) -> io::Result<Vec<TraceRecord>> {
+/// Returns a [`TraceError`] naming the defect (with the record index for
+/// per-record problems), or `TraceError::Io` for reader failures.
+pub fn read_trace<R: Read>(mut reader: R) -> Result<Vec<TraceRecord>, TraceError> {
     let mut raw = Vec::new();
     reader.read_to_end(&mut raw)?;
     let mut buf = Bytes::from(raw);
     if buf.remaining() < 16 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated header"));
+        return Err(TraceError::TruncatedHeader {
+            len: buf.remaining(),
+        });
     }
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(TraceError::BadMagic { found: magic });
     }
     let version = buf.get_u32_le();
     if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported trace version {version}"),
-        ));
+        return Err(TraceError::BadVersion { found: version });
     }
-    let count = buf.get_u64_le() as usize;
-    if buf.remaining() < count * 13 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated body"));
+    let count = buf.get_u64_le();
+    let have = buf.remaining() as u64 / RECORD_BYTES as u64;
+    if have < count {
+        return Err(TraceError::TruncatedBody {
+            record_index: have,
+            expected: count,
+        });
     }
-    let mut out = Vec::with_capacity(count);
-    for _ in 0..count {
+    let mut out = Vec::with_capacity(count as usize);
+    for record_index in 0..count {
         let addr = buf.get_u64_le();
         let flags = buf.get_u8();
         let gap = buf.get_u32_le();
+        if flags & !1 != 0 {
+            return Err(TraceError::BadFlags {
+                record_index,
+                flags,
+            });
+        }
         out.push(TraceRecord {
             addr,
             is_write: flags & 1 != 0,
@@ -107,17 +213,33 @@ mod tests {
     #[test]
     fn rejects_bad_magic() {
         let err = read_trace(&b"NOPE\0\0\0\0\0\0\0\0\0\0\0\0"[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, TraceError::BadMagic { found } if &found == b"NOPE"));
+        // The io::Error conversion keeps the diagnosis.
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+        assert!(io_err.to_string().contains("magic"));
     }
 
     #[test]
-    fn rejects_truncation() {
+    fn rejects_truncation_with_record_index() {
         let records = vec![TraceRecord::load(1, 1); 10];
         let mut buf = Vec::new();
         write_trace(&mut buf, &records).unwrap();
         buf.truncate(buf.len() - 5);
-        assert!(read_trace(&buf[..]).is_err());
-        assert!(read_trace(&buf[..8]).is_err());
+        match read_trace(&buf[..]).unwrap_err() {
+            TraceError::TruncatedBody {
+                record_index,
+                expected,
+            } => {
+                assert_eq!(record_index, 9);
+                assert_eq!(expected, 10);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        assert!(matches!(
+            read_trace(&buf[..8]).unwrap_err(),
+            TraceError::TruncatedHeader { len: 8 }
+        ));
     }
 
     #[test]
@@ -126,6 +248,38 @@ mod tests {
         write_trace(&mut buf, &[]).unwrap();
         buf[4] = 99;
         let err = read_trace(&buf[..]).unwrap_err();
+        assert!(matches!(err, TraceError::BadVersion { found: 99 }));
         assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_undefined_flag_bits_naming_the_record() {
+        let records = vec![TraceRecord::load(1, 1); 4];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &records).unwrap();
+        // Record 2's flags byte: header (16) + 2 records (26) + addr (8).
+        buf[16 + 2 * 13 + 8] = 0x82;
+        match read_trace(&buf[..]).unwrap_err() {
+            TraceError::BadFlags {
+                record_index,
+                flags,
+            } => {
+                assert_eq!(record_index, 2);
+                assert_eq!(flags, 0x82);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn flipped_count_reads_as_truncation_not_allocation_bomb() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[TraceRecord::load(1, 1)]).unwrap();
+        // Corrupt the count field to a huge value.
+        buf[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            read_trace(&buf[..]).unwrap_err(),
+            TraceError::TruncatedBody { .. }
+        ));
     }
 }

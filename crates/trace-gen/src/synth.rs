@@ -211,11 +211,7 @@ impl WorkloadGen {
         let cold = self.rng.chance(spec.cold_frac);
         if !cold {
             // Hot set: a tiny L1-resident region at the top of the space.
-            let addr = self
-                .spec
-                .cold_blocks
-                .saturating_sub(spec.hot_blocks)
-                .max(0)
+            let addr = self.spec.cold_blocks.saturating_sub(spec.hot_blocks)
                 + self.rng.next_below(spec.hot_blocks);
             let is_write = !self.rng.chance(spec.hot_read_frac);
             return TraceRecord {

@@ -70,14 +70,14 @@ fn main() -> std::io::Result<()> {
                             arrival: t,
                             blocking: false,
                         });
-                        ctl.advance_until(t, &mut hierarchy);
+                        ctl.advance_until(t, &mut hierarchy).expect("replay");
                     }
                 }
                 Backend::Rho(_) => unreachable!("schemes above are single-tree"),
             }
         }
         if let Backend::Single(ref mut ctl) = backend {
-            let end = ctl.drain(&mut hierarchy);
+            let end = ctl.drain(&mut hierarchy).expect("replay");
             let slots = *ctl.slot_stats();
             println!(
                 "{:<10} finished at {:>12}  slots: {} real / {} dummy / {} converted  (on-chip serves: {})",

@@ -1,0 +1,267 @@
+//! Robustness regressions: fault-injection determinism, integrity
+//! detection guarantees, typed-error recovery, worker-pool poison
+//! tolerance, and resume-journal equivalence.
+//!
+//! The contract under test: a seeded fault plan produces the *same* faults
+//! at any `--jobs` value; zero-rate fault configs (and the always-on
+//! integrity checksums) perturb nothing; detected corruption is repaired
+//! with a bounded, explicit timing penalty; and an interrupted, resumed
+//! sweep reports exactly what an uninterrupted one would.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ir_oram::{RunLimit, Scheme, SimError, Simulation, SystemConfig};
+use iroram_cache::HierarchyConfig;
+use iroram_experiments::runner::{par_map, run_cell_checked, run_matrix, ExpOptions};
+use iroram_protocol::{TreeTopMode, ZAllocation};
+use iroram_sim_engine::{FaultConfig, FaultPlan};
+use iroram_trace::Bench;
+use proptest::prelude::*;
+
+/// The tiny-but-real full-system scale the sim tests use.
+fn tiny(scheme: Scheme) -> SystemConfig {
+    let mut cfg = SystemConfig::scaled(scheme);
+    cfg.oram.levels = 10;
+    cfg.oram.data_blocks = 1 << 11;
+    cfg.oram.zalloc = ZAllocation::uniform(10, 4);
+    cfg.oram.treetop = TreeTopMode::Dedicated { levels: 4 };
+    cfg.oram.plb_sets = 8;
+    cfg.oram.plb_ways = 2;
+    cfg.hierarchy = HierarchyConfig {
+        l1_sets: 16,
+        l1_assoc: 2,
+        llc_sets: 64,
+        llc_assoc: 4,
+    };
+    cfg.with_scheme(scheme)
+}
+
+fn low_faults() -> FaultConfig {
+    let mut f = FaultConfig::none();
+    f.dram_corruption = 0.01;
+    f.bank_stall = 0.02;
+    f.stash_storm = 0.005;
+    f.trace_mangle = 0.005;
+    f
+}
+
+#[test]
+fn faulted_cells_are_identical_serial_and_parallel() {
+    let cells: Vec<(Scheme, Bench)> = [Scheme::Baseline, Scheme::Rho, Scheme::IrOram]
+        .iter()
+        .flat_map(|&s| [Bench::Gcc, Bench::Mcf].iter().map(move |&b| (s, b)))
+        .collect();
+    let run = |jobs: usize| {
+        par_map(jobs, cells.clone(), |(s, b)| {
+            let mut cfg = tiny(s);
+            cfg.faults = low_faults();
+            Simulation::run_bench(&cfg, b, RunLimit::mem_ops(1_200))
+        })
+    };
+    let serial = run(1);
+    for jobs in [2, 8] {
+        let par = run(jobs);
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{par:?}"),
+            "fault injection must be scheduling-independent (jobs={jobs})"
+        );
+    }
+    // The faults actually fired, so the comparison was not vacuous.
+    assert!(serial.iter().any(|r| r.faults.injected_corruptions > 0));
+    assert!(serial.iter().any(|r| r.faults.bank_stalls > 0));
+}
+
+#[test]
+fn zero_rate_faults_and_integrity_perturb_nothing() {
+    for scheme in [Scheme::Baseline, Scheme::Rho, Scheme::IrOram] {
+        // Default config: fault machinery compiled in, rates all zero,
+        // integrity checksums maintained.
+        let on = tiny(scheme);
+        let mut off = tiny(scheme);
+        off.oram.integrity = false;
+        let r_on = Simulation::run_bench(&on, Bench::Gcc, RunLimit::mem_ops(1_500));
+        let r_off = Simulation::run_bench(&off, Bench::Gcc, RunLimit::mem_ops(1_500));
+        assert_eq!(
+            format!("{r_on:?}"),
+            format!("{r_off:?}"),
+            "{scheme:?}: integrity checksums must not change any reported number"
+        );
+        assert_eq!(r_on.faults, ir_oram::FaultStats::default(), "{scheme:?}");
+    }
+}
+
+#[test]
+fn undetected_corruption_is_counted_when_integrity_is_off() {
+    let mut cfg = tiny(Scheme::Baseline);
+    cfg.faults.dram_corruption = 0.05;
+    cfg.oram.integrity = false;
+    let r = Simulation::run_bench(&cfg, Bench::Mcf, RunLimit::mem_ops(3_000));
+    assert!(r.faults.injected_corruptions > 0, "faults must fire");
+    assert_eq!(r.faults.detected, 0, "nothing can be detected without checksums");
+    assert!(
+        r.faults.undetected > 0,
+        "consumed corruption must be visible in the ledger"
+    );
+
+    // Same corruption stream with integrity on: all consumed corruption is
+    // caught, repaired, and charged a penalty.
+    let mut guarded = tiny(Scheme::Baseline);
+    guarded.faults.dram_corruption = 0.05;
+    let g = Simulation::run_bench(&guarded, Bench::Mcf, RunLimit::mem_ops(3_000));
+    assert_eq!(g.faults.undetected, 0);
+    assert!(g.faults.detected > 0);
+    assert_eq!(g.faults.recovered, g.faults.detected);
+    assert!(g.faults.refetch_penalty_cycles > 0);
+}
+
+#[test]
+fn stash_hard_limit_is_a_typed_transient_error_with_bounded_retry() {
+    let mut cfg = tiny(Scheme::Baseline);
+    cfg.stash_hard_limit = 1;
+    let err = Simulation::try_run_bench(&cfg, Bench::Mcf, RunLimit::mem_ops(3_000))
+        .expect_err("a 1-block hard limit must overflow");
+    assert!(
+        matches!(err, SimError::StashOverflow { hard_limit: 1, .. }),
+        "wrong error: {err}"
+    );
+    assert!(err.is_transient());
+
+    // Without an active fault plan a retry would replay the identical
+    // failure, so the cell fails on the first attempt...
+    let e = run_cell_checked(&cfg, Bench::Mcf, RunLimit::mem_ops(3_000)).unwrap_err();
+    assert_eq!(e.attempts, 1);
+    assert!(e.transient);
+    // ...while with faults active the bounded retry runs fresh fault
+    // streams before giving up.
+    cfg.faults = low_faults();
+    let e = run_cell_checked(&cfg, Bench::Mcf, RunLimit::mem_ops(3_000)).unwrap_err();
+    assert_eq!(
+        e.attempts,
+        iroram_experiments::MAX_CELL_RETRIES + 1,
+        "retries must be bounded: {e}"
+    );
+}
+
+#[test]
+fn par_map_survives_a_panicking_closure_at_every_worker_count() {
+    for jobs in [1usize, 2, 8] {
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map(jobs, (0..16u64).collect::<Vec<_>>(), |x| {
+                if x == 3 {
+                    panic!("injected cell panic");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+                x * 2
+            })
+        }));
+        assert!(result.is_err(), "the panic must propagate (jobs={jobs})");
+        if jobs > 1 {
+            // Poison-tolerant locks: the other workers finish the batch
+            // before the panic is re-raised.
+            assert_eq!(
+                completed.load(Ordering::SeqCst),
+                15,
+                "surviving workers must drain the batch (jobs={jobs})"
+            );
+        }
+    }
+}
+
+#[test]
+fn resumed_sweep_equals_uninterrupted_sweep() {
+    let dir = std::env::temp_dir().join(format!("iroram-resume-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    std::fs::remove_file(&path).ok();
+    std::env::set_var("IRORAM_RESUME_PATH", &path);
+
+    let mut opts = ExpOptions::quick();
+    opts.mem_ops = 1_000;
+    opts.timed_levels = 10;
+    opts.jobs = 1;
+    let schemes = [Scheme::Baseline, Scheme::IrOram];
+    let benches = [Bench::Gcc, Bench::Mcf, Bench::Lbm];
+
+    // The reference: no journal involved.
+    let uninterrupted = run_matrix(&opts, &schemes, &benches);
+
+    // A journaled run that "dies" after three cells: simulate the kill by
+    // truncating the journal to its first three lines.
+    let mut jopts = opts;
+    jopts.resume = true;
+    let full = run_matrix(&jopts, &schemes, &benches);
+    assert_eq!(format!("{uninterrupted:?}"), format!("{full:?}"));
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(text.lines().count(), 6, "every cell journaled once");
+    let partial: String = text.lines().take(3).map(|l| format!("{l}\n")).collect();
+    std::fs::write(&path, partial).unwrap();
+
+    // The resumed run answers three cells from the journal, simulates the
+    // other three, and must be byte-identical to the uninterrupted sweep.
+    let resumed = run_matrix(&jopts, &schemes, &benches);
+    assert_eq!(
+        format!("{uninterrupted:?}"),
+        format!("{resumed:?}"),
+        "resume must reproduce the uninterrupted results exactly"
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(text.lines().count(), 6, "only the missing cells re-ran");
+
+    std::env::remove_var("IRORAM_RESUME_PATH");
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Two plans built from the same config and base seed emit the same
+    /// decision sequence; a different attempt number emits a fresh one.
+    #[test]
+    fn fault_plan_decisions_are_seed_deterministic(
+        seed in any::<u64>(),
+        base in any::<u64>(),
+        corruption_ppm in 0u64..200_000,
+        stall_ppm in 0u64..200_000,
+        storm_ppm in 0u64..100_000,
+        mangle_ppm in 0u64..200_000,
+    ) {
+        let mut cfg = FaultConfig::none();
+        cfg.seed = seed;
+        cfg.dram_corruption = corruption_ppm as f64 / 1e6;
+        cfg.bank_stall = stall_ppm as f64 / 1e6;
+        cfg.stash_storm = storm_ppm as f64 / 1e6;
+        cfg.trace_mangle = mangle_ppm as f64 / 1e6;
+        type Decision = (Option<(u64, u64)>, u64, bool, Option<u64>);
+        let drive = |cfg: &FaultConfig| -> Vec<Decision> {
+            match FaultPlan::new(cfg, base) {
+                None => Vec::new(),
+                Some(mut p) => (0..200)
+                    .map(|_| (p.corrupt_line(), p.bank_stall(), p.storm_active(), p.mangle_record()))
+                    .collect(),
+            }
+        };
+        let a = drive(&cfg);
+        let b = drive(&cfg);
+        prop_assert_eq!(&a, &b, "same config must replay the same faults");
+        if cfg.is_active() {
+            prop_assert!(!a.is_empty());
+            let mut retry = cfg.clone();
+            retry.attempt = 1;
+            let c = drive(&retry);
+            prop_assert_ne!(&a, &c, "a retry must see a fresh fault stream");
+        } else {
+            prop_assert!(a.is_empty(), "zero rates must build no plan");
+        }
+    }
+
+    /// Zero-rate configs never perturb a full-system run, whatever the seed.
+    #[test]
+    fn zero_rate_plan_is_always_inert(seed in any::<u64>(), base in any::<u64>()) {
+        let mut cfg = FaultConfig::none();
+        cfg.seed = seed;
+        prop_assert!(FaultPlan::new(&cfg, base).is_none());
+    }
+}

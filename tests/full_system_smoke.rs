@@ -92,7 +92,7 @@ fn protocol_invariants_hold_after_timed_runs() {
                 });
             }
         }
-        ctl.drain(&mut h);
+        ctl.drain(&mut h).unwrap();
         ctl.protocol
             .check_invariants()
             .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));

@@ -106,7 +106,7 @@ fn slot_rate_is_workload_independent() {
     // Idle controller: dummies only.
     let mut idle = TimedController::new(&cfg);
     let mut h1 = MemoryHierarchy::new(cfg.hierarchy);
-    idle.advance_until(horizon, &mut h1);
+    idle.advance_until(horizon, &mut h1).unwrap();
     let idle_slots = idle.slot_stats().total_slots;
 
     // Saturated controller: a deep queue of real requests.
@@ -124,7 +124,7 @@ fn slot_rate_is_workload_independent() {
             });
         }
     }
-    busy.advance_until(horizon, &mut h2);
+    busy.advance_until(horizon, &mut h2).unwrap();
     let busy_slots = busy.slot_stats().total_slots;
 
     // Path service time varies slightly with row-buffer state, so allow a
@@ -149,7 +149,7 @@ fn dwb_keeps_slot_rate() {
 
     let mut base = ir_oram::TimedController::new(&base_cfg);
     let mut h1 = MemoryHierarchy::new(base_cfg.hierarchy);
-    base.advance_until(horizon, &mut h1);
+    base.advance_until(horizon, &mut h1).unwrap();
 
     let mut dwb = ir_oram::TimedController::new(&dwb_cfg);
     let mut h2 = MemoryHierarchy::new(dwb_cfg.hierarchy);
@@ -157,7 +157,7 @@ fn dwb_keeps_slot_rate() {
     for a in 0..32u64 {
         h2.access(a, true);
     }
-    dwb.advance_until(horizon, &mut h2);
+    dwb.advance_until(horizon, &mut h2).unwrap();
 
     let b = base.slot_stats().total_slots as f64;
     let d = dwb.slot_stats().total_slots as f64;

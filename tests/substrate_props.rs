@@ -25,9 +25,9 @@ proptest! {
         *z.last_mut().expect("nonempty") = 4; // leaf level always backed
         let layout = SubtreeLayout::new(&z, group);
         let mut seen = std::collections::HashSet::new();
-        for level in 0..levels {
+        for (level, &zl) in z.iter().enumerate() {
             for bucket in 0..(1u64 << level) {
-                for slot in 0..z[level] {
+                for slot in 0..zl {
                     let a = layout.slot_addr(level, bucket, slot);
                     prop_assert!(a < layout.total_lines());
                     prop_assert!(seen.insert(a), "duplicate address {a}");
@@ -138,7 +138,7 @@ proptest! {
             let b = Leaf(rng.next_below(n));
             let d = layout.common_depth(a, b);
             prop_assert_eq!(d, layout.common_depth(b, a));
-            prop_assert!(d <= levels - 1);
+            prop_assert!(d < levels);
             prop_assert_eq!(d == levels - 1, a == b);
             // The bucket at the common depth really is shared.
             prop_assert_eq!(
