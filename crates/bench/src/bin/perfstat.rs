@@ -26,7 +26,7 @@ struct SchemeStat {
 }
 
 fn scale_name(opts: &ExpOptions) -> &'static str {
-    let mut probe = *opts;
+    let mut probe = opts.clone();
     for (name, base) in [
         ("quick", ExpOptions::quick()),
         ("standard", ExpOptions::standard()),

@@ -17,7 +17,7 @@
 //! malformed lines are skipped, so journals survive schema drift and torn
 //! final writes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -29,11 +29,47 @@ use ir_oram::{
 use iroram_trace::Bench;
 
 /// Fingerprints one simulation cell: every input that determines its
-/// report. Uses FNV-1a over the config's `Debug` rendering, which covers
-/// all fields (including the fault plan and seeds) without a bespoke
-/// hasher per struct.
+/// report, hashed with FNV-1a over a field-by-field rendering.
+///
+/// The config is destructured **exhaustively** (no `..`): adding a field
+/// to [`SystemConfig`] without extending this key is a compile error, and
+/// the config-drift lint additionally checks that every field name appears
+/// in this function. Structured fields (`oram`, `hierarchy`, `dram`,
+/// `clock`, `faults`) contribute their full `Debug` rendering.
 pub fn fingerprint(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> u64 {
-    let key = format!("{cfg:?}|{bench:?}|{}", limit.mem_ops);
+    let SystemConfig {
+        scheme,
+        oram,
+        hierarchy,
+        dram,
+        t_interval,
+        timing_protection,
+        clock,
+        rob_insts,
+        ipc,
+        mshrs,
+        l1_hit_lat,
+        llc_hit_lat,
+        front_hit_lat,
+        decrypt_lat,
+        subtree_group,
+        seed,
+        audit,
+        faults,
+        refetch_lat,
+        stash_hard_limit,
+    } = cfg;
+    let key = format!(
+        "scheme={scheme:?}|oram={oram:?}|hierarchy={hierarchy:?}|dram={dram:?}\
+         |t_interval={t_interval}|timing_protection={timing_protection}\
+         |clock={clock:?}|rob_insts={rob_insts}|ipc={ipc}|mshrs={mshrs}\
+         |l1_hit_lat={l1_hit_lat}|llc_hit_lat={llc_hit_lat}\
+         |front_hit_lat={front_hit_lat}|decrypt_lat={decrypt_lat}\
+         |subtree_group={subtree_group}|seed={seed}|audit={audit}\
+         |faults={faults:?}|refetch_lat={refetch_lat}\
+         |stash_hard_limit={stash_hard_limit}|{bench:?}|{}",
+        limit.mem_ops
+    );
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for b in key.as_bytes() {
         h ^= u64::from(*b);
@@ -46,7 +82,7 @@ pub fn fingerprint(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> u64 {
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
-    done: HashMap<u64, SimReport>,
+    done: BTreeMap<u64, SimReport>,
     writer: Mutex<std::fs::File>,
 }
 
@@ -59,7 +95,7 @@ impl Journal {
     ///
     /// Returns the I/O error if the file cannot be opened for append.
     pub fn open(path: &Path) -> std::io::Result<Self> {
-        let mut done = HashMap::new();
+        let mut done = BTreeMap::new();
         if let Ok(text) = std::fs::read_to_string(path) {
             for line in text.lines() {
                 if let Some((fp, report)) = decode_line(line) {

@@ -50,14 +50,17 @@ usage: <experiment> [--quick | --standard | --full] [--jobs N] [--csv DIR] [--au
                violation (results are identical; audits observe only)
   --resume     journal finished cells to a JSONL file and skip any cell the
                journal already holds (path: $IRORAM_RESUME_PATH, default
-               iroram-resume.jsonl)";
+               iroram-resume.jsonl)
+  --set K=V    override one scalar SystemConfig field in every cell
+               (e.g. --set t_interval=2000; repeatable; applied after the
+               scheme matrix, validated at parse time)";
 
 /// Scaling knobs for the experiments.
 ///
 /// `quick()` shrinks everything for smoke tests and CI; `default()` is the
 /// scale `EXPERIMENTS.md` reports; `full()` takes minutes per figure but
 /// gets closer to the paper's statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExpOptions {
     /// Memory operations replayed per timed run.
     pub mem_ops: u64,
@@ -81,6 +84,10 @@ pub struct ExpOptions {
     /// Journal finished cells to [`resume_path`] and answer already-journaled
     /// cells from it, so an interrupted sweep can pick up where it died.
     pub resume: bool,
+    /// `--set KEY=VALUE` overrides applied to every cell's [`SystemConfig`]
+    /// (after the scheme matrix, in order). Keys are validated at parse
+    /// time via [`SystemConfig::set_field`].
+    pub overrides: Vec<(String, String)>,
 }
 
 impl ExpOptions {
@@ -96,6 +103,7 @@ impl ExpOptions {
             jobs: 0,
             audit: false,
             resume: false,
+            overrides: Vec::new(),
         }
     }
 
@@ -111,6 +119,7 @@ impl ExpOptions {
             jobs: 0,
             audit: false,
             resume: false,
+            overrides: Vec::new(),
         }
     }
 
@@ -126,6 +135,7 @@ impl ExpOptions {
             jobs: 0,
             audit: false,
             resume: false,
+            overrides: Vec::new(),
         }
     }
 
@@ -154,11 +164,24 @@ impl ExpOptions {
         let mut jobs: Option<usize> = None;
         let mut audit = false;
         let mut resume = false;
+        let mut overrides: Vec<(String, String)> = Vec::new();
+        // Scratch config for validating --set keys/values at parse time, so
+        // a typo fails before any cell has simulated.
+        let mut probe = SystemConfig::scaled(Scheme::Baseline);
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--audit" => audit = true,
                 "--resume" => resume = true,
+                "--set" => {
+                    i += 1;
+                    let kv = args.get(i).ok_or("--set requires KEY=VALUE")?;
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| format!("--set expects KEY=VALUE, got `{kv}`"))?;
+                    probe.set_field(k, v)?;
+                    overrides.push((k.to_owned(), v.to_owned()));
+                }
                 "--quick" => opts = ExpOptions::quick(),
                 "--standard" => opts = ExpOptions::standard(),
                 "--full" => opts = ExpOptions::full(),
@@ -195,6 +218,7 @@ impl ExpOptions {
         }
         opts.audit |= audit;
         opts.resume |= resume;
+        opts.overrides = overrides;
         Ok(opts)
     }
 
@@ -229,7 +253,15 @@ impl ExpOptions {
             cfg.t_interval = SystemConfig::t_for(&cfg.oram);
         }
         cfg.audit = self.audit;
-        cfg.with_scheme(scheme)
+        let mut cfg = cfg.with_scheme(scheme);
+        for (k, v) in &self.overrides {
+            // Parse-time validation makes a failure here unreachable for
+            // options built by `parse`; hand-built ExpOptions fail loudly.
+            // lint: allow(panic, overrides are pre-validated by parse; invalid hand-built sets must abort)
+            cfg.set_field(k, v)
+                .unwrap_or_else(|e| panic!("invalid override: {e}"));
+        }
+        cfg
     }
 
     /// A functional-study ORAM config at this scale: `levels` high,
@@ -412,6 +444,7 @@ fn try_run_cell(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> Result<Sim
 /// The `--resume` journal path: [`RESUME_PATH_ENV`] if set, else
 /// `iroram-resume.jsonl` in the working directory.
 pub fn resume_path() -> PathBuf {
+    // lint: allow(determinism, RESUME_PATH_ENV is the documented resume-journal knob; it picks a file path and cannot affect reported numbers)
     std::env::var_os(RESUME_PATH_ENV)
         .map_or_else(|| PathBuf::from("iroram-resume.jsonl"), PathBuf::from)
 }
@@ -443,6 +476,7 @@ fn open_journal(opts: &ExpOptions) -> Option<Journal> {
 
 /// The `IRORAM_ABORT_AFTER_CELLS` budget, if set to a number.
 fn abort_budget() -> Option<usize> {
+    // lint: allow(determinism, ABORT_AFTER_ENV is the documented CI kill switch; it aborts the process and never changes a completed run's output)
     std::env::var(ABORT_AFTER_ENV).ok()?.parse().ok()
 }
 
@@ -506,6 +540,27 @@ pub fn run_matrix(
     schemes: &[Scheme],
     benches: &[Bench],
 ) -> Vec<Vec<SimReport>> {
+    // Batch figures have no partial-output mode: a cell that failed its
+    // bounded retries must abort the whole figure, not publish a hole.
+    // lint: allow(panic, documented batch-abort contract; the typed path is try_run_matrix)
+    try_run_matrix(opts, schemes, benches).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The fallible form of [`run_matrix`]: identical engine (same journal,
+/// same fan-out, same abort budget), but a cell that still fails after its
+/// bounded retries surfaces as the first [`CellError`] in input order
+/// instead of panicking — for harnesses that want to report a failed sweep
+/// without unwinding.
+///
+/// # Errors
+///
+/// Returns the first failing cell's [`CellError`] (input order, which is
+/// deterministic for any `--jobs N`).
+pub fn try_run_matrix(
+    opts: &ExpOptions,
+    schemes: &[Scheme],
+    benches: &[Bench],
+) -> Result<Vec<Vec<SimReport>>, CellError> {
     let configs: Vec<SystemConfig> = schemes.iter().map(|&s| opts.system(s)).collect();
     let cells: Vec<(usize, Bench)> = (0..schemes.len())
         .flat_map(|s| benches.iter().map(move |&b| (s, b)))
@@ -513,16 +568,15 @@ pub fn run_matrix(
     let journal = open_journal(opts);
     let abort_after = journal.as_ref().and_then(|_| abort_budget());
     let journaled = AtomicUsize::new(0);
-    let reports = par_map(opts.effective_jobs(), cells, |(s, b)| {
+    let outcomes = par_map(opts.effective_jobs(), cells, |(s, b)| {
         let cfg = &configs[s];
         let fp = journal::fingerprint(cfg, b, opts.limit());
         if let Some(j) = &journal {
             if let Some(report) = j.lookup(fp) {
-                return report;
+                return Ok(report);
             }
         }
-        let report =
-            run_cell_checked(cfg, b, opts.limit()).unwrap_or_else(|e| panic!("{e}"));
+        let report = run_cell_checked(cfg, b, opts.limit())?;
         if let Some(j) = &journal {
             j.record(fp, &report);
             let n = journaled.fetch_add(1, Ordering::SeqCst) + 1;
@@ -531,14 +585,18 @@ pub fn run_matrix(
                 std::process::exit(3);
             }
         }
-        report
+        Ok(report)
     });
+    let mut reports: Vec<SimReport> = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        reports.push(outcome?);
+    }
     let mut rows: Vec<Vec<SimReport>> = Vec::with_capacity(schemes.len());
     let mut it = reports.into_iter();
     for _ in 0..schemes.len() {
         rows.push(it.by_ref().take(benches.len()).collect());
     }
-    rows
+    Ok(rows)
 }
 
 /// Geometric mean of positive values (0 for an empty slice).
@@ -620,6 +678,28 @@ mod tests {
         // ...and it propagates into the cell configs.
         assert!(o.system(Scheme::Baseline).audit);
         assert!(!ExpOptions::quick().system(Scheme::IrOram).audit);
+    }
+
+    #[test]
+    fn parse_set_overrides() {
+        let o = ExpOptions::parse(&args(&["--set", "t_interval=2000", "--set", "seed=7"])).unwrap();
+        assert_eq!(
+            o.overrides,
+            vec![
+                ("t_interval".to_owned(), "2000".to_owned()),
+                ("seed".to_owned(), "7".to_owned())
+            ]
+        );
+        let cfg = o.system(Scheme::Baseline);
+        assert_eq!((cfg.t_interval, cfg.seed), (2000, 7));
+        // Scale flags keep previously parsed --set overrides.
+        let o = ExpOptions::parse(&args(&["--set", "ipc=2", "--quick"])).unwrap();
+        assert_eq!(o.system(Scheme::IrOram).ipc, 2);
+        // Bad key, bad value, and missing `=` all fail at parse time.
+        assert!(ExpOptions::parse(&args(&["--set", "no_such=1"])).is_err());
+        assert!(ExpOptions::parse(&args(&["--set", "seed=banana"])).is_err());
+        assert!(ExpOptions::parse(&args(&["--set", "seed"])).is_err());
+        assert!(ExpOptions::parse(&args(&["--set"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! The `iroram-lint` binary: runs the determinism, panic-ratchet and
+//! config-drift passes over the workspace and prints machine-readable
+//! findings (`file:line rule message`). Exit 0 = clean, 1 = findings,
+//! 2 = usage or I/O error.
+
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+usage: iroram-lint [--root DIR] [--fix-ratchet]
+  --root DIR     workspace root (default: walk up from the current directory)
+  --fix-ratchet  rewrite lint-ratchet.toml from the current hot-path counts
+Findings are printed one per line as `file:line rule message`.
+Exemptions: `// lint: allow(<rule>, <reason>)` on the flagged line or the
+line above it (rules: determinism, panic, config; the reason is mandatory).";
+
+fn main() {
+    let mut root: Option<PathBuf> = None;
+    let mut fix_ratchet = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fix-ratchet" => fix_ratchet = true,
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => die(2, "--root requires a directory"),
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(2, &format!("unrecognized argument `{other}`")),
+        }
+        i += 1;
+    }
+    let root = root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| iroram_lint::find_root(&d))
+    });
+    let Some(root) = root else {
+        die(2, "no workspace root found (pass --root DIR)");
+    };
+    match iroram_lint::run(&root, fix_ratchet) {
+        Ok(outcome) => {
+            for f in &outcome.findings {
+                println!("{f}");
+            }
+            eprintln!(
+                "iroram-lint: {} file(s) scanned, {} finding(s){}",
+                outcome.files_scanned,
+                outcome.findings.len(),
+                if fix_ratchet { " (ratchet rewritten)" } else { "" }
+            );
+            std::process::exit(i32::from(!outcome.findings.is_empty()));
+        }
+        Err(e) => die(2, &e),
+    }
+}
+
+fn die(code: i32, msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(code);
+}

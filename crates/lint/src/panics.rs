@@ -1,0 +1,178 @@
+//! The panic-freedom pass: inventories panic-capable sites in the
+//! designated hot-path modules and compares the counts against the
+//! checked-in ratchet (`lint-ratchet.toml`).
+//!
+//! Counted categories: `.unwrap(`, `.expect(`, `panic!`, `unreachable!`,
+//! and slice-indexing expressions (`expr[...]`). Sites inside test code or
+//! carrying a reasoned `// lint: allow(panic, <invariant>)` are exempt —
+//! an annotated site is a *declared* invariant, not an open hazard. The
+//! ratchet only moves down: a count above budget is a regression; a count
+//! below budget must be locked in with `--fix-ratchet`.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokKind;
+use crate::ratchet::Ratchet;
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Counts panic-capable sites per category for one file.
+pub fn count(file: &SourceFile) -> BTreeMap<String, u64> {
+    let mut counts: BTreeMap<String, u64> = crate::ratchet::CATEGORIES
+        .iter()
+        .map(|c| ((*c).to_owned(), 0))
+        .collect();
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if file.in_test(i) || file.allowed(t.line, "panic") {
+            continue;
+        }
+        let cat: Option<&str> = match &t.kind {
+            TokKind::Ident(s) if s == "unwrap" || s == "expect" => toks
+                .get(i + 1)
+                .filter(|n| n.is_punct(b'('))
+                .map(|_| s.as_str()),
+            TokKind::Ident(s) if s == "panic" || s == "unreachable" => toks
+                .get(i + 1)
+                .filter(|n| n.is_punct(b'!'))
+                .map(|_| s.as_str()),
+            // An indexing expression: `[` directly after a value-producing
+            // token (identifier, `)`, or `]`). Attribute `#[`, macro
+            // `vec![`, types `: [u8; 4]`, and slice patterns follow other
+            // token kinds and are not counted.
+            TokKind::Punct(b'[') if i > 0 => match &toks[i - 1].kind {
+                TokKind::Ident(_) | TokKind::Punct(b')') | TokKind::Punct(b']') => Some("index"),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(cat) = cat {
+            *counts.get_mut(cat).expect("all categories pre-seeded") += 1;
+        }
+    }
+    counts
+}
+
+/// Compares counted hot-path files against the ratchet.
+pub fn check_against_ratchet(
+    counted: &Ratchet,
+    budget: &Ratchet,
+    ratchet_path: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (file, cats) in counted {
+        let Some(allowed) = budget.get(file) else {
+            out.push(Finding {
+                file: file.clone(),
+                line: 1,
+                rule: "panic".to_owned(),
+                message: format!(
+                    "hot-path file missing from {ratchet_path}; run --fix-ratchet to budget it"
+                ),
+            });
+            continue;
+        };
+        for (cat, &have) in cats {
+            let want = allowed.get(cat).copied().unwrap_or(0);
+            if have > want {
+                out.push(Finding {
+                    file: file.clone(),
+                    line: 1,
+                    rule: "panic".to_owned(),
+                    message: format!(
+                        "{have} unannotated `{cat}` site(s), ratchet allows {want} — remove the new site or annotate its invariant with lint: allow(panic, ...)"
+                    ),
+                });
+            } else if have < want {
+                out.push(Finding {
+                    file: file.clone(),
+                    line: 1,
+                    rule: "panic".to_owned(),
+                    message: format!(
+                        "only {have} `{cat}` site(s) but ratchet still allows {want} — run --fix-ratchet to lock the improvement in"
+                    ),
+                });
+            }
+        }
+    }
+    // Stale ratchet entries for files we no longer count.
+    for file in budget.keys() {
+        if !counted.contains_key(file) {
+            out.push(Finding {
+                file: file.clone(),
+                line: 1,
+                rule: "panic".to_owned(),
+                message: format!(
+                    "stale entry in {ratchet_path}: file is not a designated hot-path module; run --fix-ratchet"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(src: &str) -> BTreeMap<String, u64> {
+        count(&SourceFile::new("f.rs".into(), src))
+    }
+
+    #[test]
+    fn counts_each_category() {
+        let c = counts(
+            "fn f(v: &[u64], i: usize) -> u64 {\n  let x = v.get(i).unwrap();\n  let y = o.expect(\"msg\");\n  if bad { panic!(\"boom\") }\n  match z { _ => unreachable!() }\n  v[i] + w[j][k]\n}\n",
+        );
+        assert_eq!(c["unwrap"], 1);
+        assert_eq!(c["expect"], 1);
+        assert_eq!(c["panic"], 1);
+        assert_eq!(c["unreachable"], 1);
+        assert_eq!(c["index"], 3); // v[i], w[j], [k]
+    }
+
+    #[test]
+    fn non_panicking_lookalikes_do_not_count() {
+        let c = counts(
+            "let a = x.unwrap_or(0);\nlet b = y.unwrap_or_else(|| 0);\nlet t: [u8; 4] = [0; 4];\n#[derive(Debug)]\nstruct S;\nlet v = vec![1, 2];\nlet w = matches!(q, Some(_));\n",
+        );
+        assert_eq!(c.values().sum::<u64>(), 0, "{c:?}");
+    }
+
+    #[test]
+    fn annotated_and_test_sites_are_exempt() {
+        let c = counts(
+            "let a = x.unwrap(); // lint: allow(panic, x seeded two lines up)\n#[test]\nfn t() { y.unwrap(); v[0]; }\n",
+        );
+        assert_eq!(c.values().sum::<u64>(), 0, "{c:?}");
+    }
+
+    #[test]
+    fn ratchet_comparison_flags_both_directions() {
+        let mut counted = Ratchet::new();
+        counted.insert("a.rs".into(), counts("x.unwrap();\nv[i];\n"));
+        let budget = crate::ratchet::parse("[\"a.rs\"]\nunwrap = 0\nindex = 2\n").unwrap();
+        let f = check_against_ratchet(&counted, &budget, "lint-ratchet.toml");
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("ratchet allows 0")));
+        assert!(f.iter().any(|x| x.message.contains("lock the improvement in")));
+    }
+
+    #[test]
+    fn missing_and_stale_entries_are_flagged() {
+        let mut counted = Ratchet::new();
+        counted.insert("new.rs".into(), counts(""));
+        let budget = crate::ratchet::parse("[\"old.rs\"]\nunwrap = 1\n").unwrap();
+        let f = check_against_ratchet(&counted, &budget, "lint-ratchet.toml");
+        assert!(f.iter().any(|x| x.file == "new.rs" && x.message.contains("missing")));
+        assert!(f.iter().any(|x| x.file == "old.rs" && x.message.contains("stale")));
+    }
+
+    #[test]
+    fn exact_match_is_clean() {
+        let mut counted = Ratchet::new();
+        counted.insert("a.rs".into(), counts("x.unwrap(); y[0];"));
+        let budget = crate::ratchet::parse("[\"a.rs\"]\nunwrap = 1\nindex = 1\n").unwrap();
+        assert!(check_against_ratchet(&counted, &budget, "r.toml").is_empty());
+    }
+}

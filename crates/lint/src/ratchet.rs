@@ -1,0 +1,112 @@
+//! The panic-freedom ratchet file (`lint-ratchet.toml`): a checked-in
+//! budget of panic-capable sites per hot-path file, written and read by a
+//! hand-rolled TOML-subset codec (section headers + `key = integer`
+//! pairs), so counts can only go down over time.
+
+use std::collections::BTreeMap;
+
+/// Per-file, per-category budget. Both maps are ordered so the serialized
+/// file is deterministic.
+pub type Ratchet = BTreeMap<String, BTreeMap<String, u64>>;
+
+/// The categories the panic pass counts, in serialization order.
+pub const CATEGORIES: [&str; 5] = ["expect", "index", "panic", "unreachable", "unwrap"];
+
+/// Serializes a ratchet to the checked-in file format.
+pub fn to_string(r: &Ratchet) -> String {
+    let mut out = String::new();
+    out.push_str("# iroram-lint panic-freedom ratchet: per-file budgets for panic-capable\n");
+    out.push_str("# sites (unwrap/expect/panic!/unreachable!/slice-indexing) in hot-path\n");
+    out.push_str("# modules. Counts may only go down; regenerate after removing sites with:\n");
+    out.push_str("#   cargo run -p lint --release -- --fix-ratchet\n");
+    for (file, cats) in r {
+        out.push('\n');
+        out.push_str(&format!("[\"{file}\"]\n"));
+        for cat in CATEGORIES {
+            let v = cats.get(cat).copied().unwrap_or(0);
+            out.push_str(&format!("{cat} = {v}\n"));
+        }
+    }
+    out
+}
+
+/// Parses the ratchet file. Unknown keys and malformed lines are errors —
+/// the ratchet is a contract, not a log.
+pub fn parse(text: &str) -> Result<Ratchet, String> {
+    let mut out = Ratchet::new();
+    let mut current: Option<String> = None;
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let inner = rest
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {}: unterminated section header", n + 1))?;
+            let name = inner.trim().trim_matches('"').to_owned();
+            if name.is_empty() {
+                return Err(format!("line {}: empty section name", n + 1));
+            }
+            out.entry(name.clone()).or_default();
+            current = Some(name);
+            continue;
+        }
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`", n + 1))?;
+        let key = k.trim();
+        if !CATEGORIES.contains(&key) {
+            return Err(format!(
+                "line {}: unknown category `{key}` (known: {})",
+                n + 1,
+                CATEGORIES.join(", ")
+            ));
+        }
+        let val: u64 = v
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: `{}` is not a count", n + 1, v.trim()))?;
+        let section = current
+            .as_ref()
+            .ok_or_else(|| format!("line {}: key outside any [section]", n + 1))?;
+        out.get_mut(section)
+            .expect("section inserted on header")
+            .insert(key.to_owned(), val);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut r = Ratchet::new();
+        let mut c = BTreeMap::new();
+        c.insert("unwrap".to_owned(), 3);
+        c.insert("index".to_owned(), 12);
+        r.insert("crates/a/src/x.rs".to_owned(), c);
+        let text = to_string(&r);
+        let back = parse(&text).unwrap();
+        assert_eq!(back["crates/a/src/x.rs"]["unwrap"], 3);
+        assert_eq!(back["crates/a/src/x.rs"]["index"], 12);
+        // Unset categories serialize as explicit zeros.
+        assert_eq!(back["crates/a/src/x.rs"]["panic"], 0);
+    }
+
+    #[test]
+    fn rejects_unknown_category_and_garbage() {
+        assert!(parse("[\"f.rs\"]\nfoo = 1\n").is_err());
+        assert!(parse("[\"f.rs\"]\nunwrap = many\n").is_err());
+        assert!(parse("unwrap = 1\n").is_err());
+        assert!(parse("[\"f.rs\"\nunwrap = 1\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let r = parse("# header\n\n[\"f.rs\"]\n# inner\nunwrap = 2\n").unwrap();
+        assert_eq!(r["f.rs"]["unwrap"], 2);
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture hot-path file, clean (zero budget, zero sites).
+
+pub fn lookup(x: Option<u64>) -> u64 {
+    x.unwrap_or(0)
+}

@@ -1,0 +1,2 @@
+//! Fixture crate root.
+pub mod cache;

@@ -1,0 +1,6 @@
+//! Fixture hot-path file with an annotated (declared-invariant) site.
+
+pub fn peek(v: &[u64]) -> u64 {
+    // lint: allow(panic, fixture invariant - v is never empty here)
+    v[0]
+}

@@ -1,0 +1,5 @@
+//! Fixture journal: fingerprint covers seed and t_interval only.
+
+pub fn fingerprint(seed: u64, t_interval: u64) -> u64 {
+    seed ^ t_interval
+}

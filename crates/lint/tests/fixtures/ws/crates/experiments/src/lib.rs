@@ -1,0 +1,3 @@
+//! Fixture crate root.
+pub mod journal;
+pub mod runner;

@@ -1,0 +1,5 @@
+//! Fixture runner (no extra CLI strings).
+
+pub fn parse() -> u64 {
+    0
+}

@@ -1,0 +1,20 @@
+//! Fixture config with a seeded config-drift violation.
+
+pub struct SystemConfig {
+    /// Documented and covered everywhere.
+    pub seed: u64,
+    pub t_interval: u64,
+    /// Covered nowhere: the seeded drift.
+    pub ghost_knob: u64,
+}
+
+impl SystemConfig {
+    pub fn set_field(&mut self, key: &str, value: &str) -> Result<(), String> {
+        match key {
+            "seed" => self.seed = value.parse().map_err(|_| "bad".to_owned())?,
+            "t_interval" => self.t_interval = value.parse().map_err(|_| "bad".to_owned())?,
+            _ => return Err("unknown".to_owned()),
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture hot-path file, clean.
+
+pub fn step() -> u64 {
+    1
+}

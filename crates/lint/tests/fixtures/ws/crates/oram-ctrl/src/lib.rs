@@ -1,0 +1,5 @@
+//! Fixture crate root.
+pub mod config;
+pub mod controller;
+pub mod dwb;
+pub mod rho;

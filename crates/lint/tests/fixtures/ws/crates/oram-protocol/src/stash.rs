@@ -1,0 +1,5 @@
+//! Fixture hot-path file with a seeded panic-ratchet regression.
+
+pub fn take(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

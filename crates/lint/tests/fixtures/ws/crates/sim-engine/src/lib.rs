@@ -1,0 +1,6 @@
+//! Fixture: report-affecting crate with a seeded determinism violation.
+
+pub fn engine() -> u64 {
+    let m = std::collections::HashMap::<u64, u64>::new();
+    m.len() as u64
+}

@@ -1,0 +1,5 @@
+//! Fixture: clean report-affecting crate.
+
+pub fn trace() -> u64 {
+    7
+}

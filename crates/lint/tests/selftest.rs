@@ -1,0 +1,122 @@
+//! End-to-end self-tests: run the full lint over the seeded fixture
+//! workspace (`tests/fixtures/ws`) and over the real repository.
+//!
+//! The fixture plants exactly one violation per rule:
+//! * determinism — a `HashMap` construction in `sim-engine` (line 4);
+//! * panic — one `unwrap` in `oram-protocol/src/stash.rs` against a
+//!   zero budget;
+//! * config — `SystemConfig::ghost_knob` (line 8) absent from the
+//!   fingerprint, the `--set` table, and `DESIGN.md`.
+
+use std::path::{Path, PathBuf};
+
+use iroram_lint::{run, Finding};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn by_rule<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn fixture_reports_each_seeded_violation_at_its_line() {
+    let out = run(&fixture_root(), false).expect("fixture lint runs");
+
+    let det = by_rule(&out.findings, "determinism");
+    assert_eq!(det.len(), 1, "{det:?}");
+    assert_eq!(det[0].file, "crates/sim-engine/src/lib.rs");
+    assert_eq!(det[0].line, 4);
+    assert!(det[0].message.contains("HashMap"));
+
+    let panics = by_rule(&out.findings, "panic");
+    assert_eq!(panics.len(), 1, "{panics:?}");
+    assert_eq!(panics[0].file, "crates/oram-protocol/src/stash.rs");
+    assert!(panics[0].message.contains("1 unannotated `unwrap`"));
+    assert!(panics[0].message.contains("ratchet allows 0"));
+
+    let config = by_rule(&out.findings, "config");
+    assert_eq!(config.len(), 3, "{config:?}");
+    for f in &config {
+        assert_eq!(f.file, "crates/oram-ctrl/src/config.rs");
+        assert_eq!(f.line, 8, "{f:?}");
+        assert!(f.message.contains("ghost_knob"));
+    }
+    assert!(config.iter().any(|f| f.message.contains("fingerprint")));
+    assert!(config.iter().any(|f| f.message.contains("CLI")));
+    assert!(config.iter().any(|f| f.message.contains("DESIGN.md")));
+
+    // Nothing else: the annotated index in dram-sim/system.rs, the
+    // `unwrap_or` in cache-sim, and the covered fields are all clean.
+    assert_eq!(out.findings.len(), 5, "{:#?}", out.findings);
+}
+
+#[test]
+fn fixture_findings_are_machine_readable_and_sorted() {
+    let out = run(&fixture_root(), false).expect("fixture lint runs");
+    let mut sorted = out.findings.clone();
+    sorted.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    assert_eq!(out.findings, sorted, "findings must come out sorted");
+    for f in &out.findings {
+        let line = f.to_string();
+        // `file:line rule message`
+        let (loc, rest) = line.split_once(' ').expect("has a location field");
+        let (file, ln) = loc.rsplit_once(':').expect("location is file:line");
+        assert_eq!(file, f.file);
+        assert_eq!(ln.parse::<u32>().unwrap(), f.line);
+        assert!(rest.starts_with(&f.rule));
+    }
+}
+
+#[test]
+fn fix_ratchet_locks_in_the_seeded_regression() {
+    // Copy the fixture so --fix-ratchet can rewrite its ratchet file.
+    let dst = std::env::temp_dir().join(format!("iroram-lint-fix-{}", std::process::id()));
+    copy_tree(&fixture_root(), &dst);
+    let out = run(&dst, true).expect("fixture lint runs with --fix-ratchet");
+    assert!(
+        by_rule(&out.findings, "panic").is_empty(),
+        "panic pass must be green after --fix-ratchet: {:#?}",
+        out.findings
+    );
+    // The other passes are untouched by the ratchet rewrite.
+    assert_eq!(by_rule(&out.findings, "determinism").len(), 1);
+    assert_eq!(by_rule(&out.findings, "config").len(), 3);
+    let locked = std::fs::read_to_string(dst.join("lint-ratchet.toml")).unwrap();
+    assert!(locked.contains("unwrap = 1"), "{locked}");
+    std::fs::remove_dir_all(&dst).ok();
+}
+
+#[test]
+fn the_real_tree_is_clean() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf();
+    let out = run(&repo_root, false).expect("repo lint runs");
+    assert!(
+        out.findings.is_empty(),
+        "the repository must lint clean:\n{}",
+        out.findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(out.files_scanned > 40, "scanned {}", out.files_scanned);
+}
+
+fn copy_tree(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}

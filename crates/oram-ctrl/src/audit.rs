@@ -31,7 +31,7 @@
 //!   must always agree with the engine's victim and with the LLC's view of
 //!   the line (checked every slot via `DwbEngine::check_coherence`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use iroram_sim_engine::Cycle;
 
@@ -64,7 +64,7 @@ impl AuditReport {
 #[derive(Debug, Default)]
 pub(crate) struct AuditState {
     /// The functional oracle: block address → last known payload.
-    oracle: HashMap<u64, u64>,
+    oracle: BTreeMap<u64, u64>,
     /// Expected issue time of the next slot (None before the first slot or
     /// when timing protection is off).
     expected_slot: Option<Cycle>,

@@ -248,6 +248,71 @@ impl SystemConfig {
         }
     }
 
+    /// Sets one scalar field from its CLI spelling (the `--set KEY=VALUE`
+    /// override table — every [`SystemConfig`] field has an arm here, which
+    /// is what the config-drift lint checks).
+    ///
+    /// Structured fields (`oram`, `hierarchy`, `dram`, `clock`, `faults`)
+    /// are deliberately *not* settable from one `KEY=VALUE` pair; their
+    /// arms return an error naming the structured knob to use instead.
+    /// Setting `scheme` re-derives the scheme-dependent ORAM parameters via
+    /// [`SystemConfig::with_scheme`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown key, an unparsable value, or a
+    /// structured field.
+    pub fn set_field(&mut self, key: &str, value: &str) -> Result<(), String> {
+        fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+            value
+                .parse()
+                .map_err(|_| format!("--set {key}: cannot parse `{value}` as a number"))
+        }
+        fn flag(key: &str, value: &str) -> Result<bool, String> {
+            match value {
+                "true" | "1" | "on" => Ok(true),
+                "false" | "0" | "off" => Ok(false),
+                _ => Err(format!("--set {key}: expected true/false, got `{value}`")),
+            }
+        }
+        match key {
+            "scheme" => {
+                let s = ALL_SCHEMES
+                    .into_iter()
+                    .find(|s| s.name().eq_ignore_ascii_case(value))
+                    .ok_or_else(|| format!("--set scheme: unknown scheme `{value}`"))?;
+                *self = self.with_scheme(s);
+            }
+            "t_interval" => self.t_interval = num(key, value)?,
+            "timing_protection" => self.timing_protection = flag(key, value)?,
+            "rob_insts" => self.rob_insts = num(key, value)?,
+            "ipc" => self.ipc = num(key, value)?,
+            "mshrs" => self.mshrs = num(key, value)?,
+            "l1_hit_lat" => self.l1_hit_lat = num(key, value)?,
+            "llc_hit_lat" => self.llc_hit_lat = num(key, value)?,
+            "front_hit_lat" => self.front_hit_lat = num(key, value)?,
+            "decrypt_lat" => self.decrypt_lat = num(key, value)?,
+            "subtree_group" => self.subtree_group = num(key, value)?,
+            "seed" => self.seed = num(key, value)?,
+            "audit" => self.audit = flag(key, value)?,
+            "refetch_lat" => self.refetch_lat = num(key, value)?,
+            "stash_hard_limit" => self.stash_hard_limit = num(key, value)?,
+            "oram" => {
+                return Err("--set oram: structured; use the scale flags or edit the config".into())
+            }
+            "hierarchy" => {
+                return Err("--set hierarchy: structured; use the scale flags instead".into())
+            }
+            "dram" => return Err("--set dram: structured; not settable from the CLI".into()),
+            "clock" => return Err("--set clock: structured; not settable from the CLI".into()),
+            "faults" => {
+                return Err("--set faults: structured; use the fault-injection flags".into())
+            }
+            _ => return Err(format!("--set: unknown SystemConfig field `{key}`")),
+        }
+        Ok(())
+    }
+
     /// Renders the configuration as the paper's Table I rows.
     pub fn table1(&self) -> Vec<(String, String)> {
         let block_bytes = 64u64;
@@ -364,6 +429,28 @@ mod tests {
         assert!(t.iter().any(|(k, _)| k.contains("ROB")));
         assert!(t.iter().any(|(k, v)| k.contains("Stash") && v == "200"));
         assert!(t.len() >= 10);
+    }
+
+    #[test]
+    fn set_field_covers_scalars_and_rejects_structured() {
+        let mut cfg = SystemConfig::scaled(Scheme::Baseline);
+        cfg.set_field("seed", "99").unwrap();
+        assert_eq!(cfg.seed, 99);
+        cfg.set_field("timing_protection", "off").unwrap();
+        assert!(!cfg.timing_protection);
+        cfg.set_field("t_interval", "1234").unwrap();
+        assert_eq!(cfg.t_interval, 1234);
+        cfg.set_field("stash_hard_limit", "4096").unwrap();
+        assert_eq!(cfg.effective_stash_hard_limit(), 4096);
+        // scheme re-derives the ORAM matrix.
+        cfg.set_field("scheme", "IR-ORAM").unwrap();
+        assert_eq!(cfg.scheme, Scheme::IrOram);
+        assert!(matches!(cfg.oram.treetop, TreeTopMode::IrStash { .. }));
+        // Structured fields and unknowns fail loudly.
+        assert!(cfg.set_field("dram", "x").is_err());
+        assert!(cfg.set_field("faults", "x").is_err());
+        assert!(cfg.set_field("no_such_field", "1").is_err());
+        assert!(cfg.set_field("seed", "not-a-number").is_err());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! low-locality benchmarks (mcf) where most requests need scarce main-tree
 //! slots and the fixed pattern inflates dummy traffic.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use iroram_cache::MemoryHierarchy;
 use iroram_dram::{DramSystem, MemRequest, SubtreeLayout};
@@ -72,7 +72,7 @@ pub struct RhoController {
     /// small slot → resident data address.
     slots: Vec<Option<u64>>,
     /// data address → small slot.
-    directory: HashMap<u64, u64>,
+    directory: BTreeMap<u64, u64>,
     last_use: Vec<u64>,
     use_tick: u64,
     t_interval: u64,
@@ -90,7 +90,7 @@ pub struct RhoController {
     slot_stats: SlotStats,
     last_write_done: Cycle,
     /// Recently missed addresses (install gate).
-    reuse_filter: std::collections::HashSet<u64>,
+    reuse_filter: BTreeSet<u64>,
     reuse_order: VecDeque<u64>,
     reuse_capacity: usize,
     /// Audit state (main tree only: small-tree slots are re-used by
@@ -162,7 +162,7 @@ impl RhoController {
             small_layout,
             small_offset,
             slots: vec![None; n_slots],
-            directory: HashMap::new(),
+            directory: BTreeMap::new(),
             last_use: vec![0; n_slots],
             use_tick: 0,
             t_interval: cfg.t_interval,
@@ -179,7 +179,7 @@ impl RhoController {
             completions: Vec::new(),
             slot_stats: SlotStats::default(),
             last_write_done: Cycle::ZERO,
-            reuse_filter: std::collections::HashSet::new(),
+            reuse_filter: BTreeSet::new(),
             reuse_order: VecDeque::new(),
             reuse_capacity: 2 * n_slots,
             audit: cfg.audit.then(|| Box::new(AuditState::new())),

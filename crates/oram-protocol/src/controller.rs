@@ -1,6 +1,6 @@
 //! The Path ORAM controller state machine.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -267,7 +267,7 @@ pub struct PathOram {
     stash: Stash,
     posmap: PosMapSystem,
     top: Option<Box<dyn TreeTopStore + Send>>,
-    escrow: HashMap<u64, u64>,
+    escrow: BTreeMap<u64, u64>,
     cipher: FeistelCipher,
     rng: SimRng,
     stats: ProtocolStats,
@@ -324,7 +324,7 @@ impl PathOram {
             stash: Stash::new(cfg.stash_capacity),
             posmap,
             top,
-            escrow: HashMap::new(),
+            escrow: BTreeMap::new(),
             rng,
             plan: WritebackPlan::new(),
             read_buf: Vec::new(),

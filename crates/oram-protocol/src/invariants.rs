@@ -13,7 +13,7 @@
 //! The checker walks the whole structure (O(total slots)), so it is meant
 //! for tests and property-based fuzzing, not hot loops.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::{BlockAddr, PathOram};
@@ -126,7 +126,7 @@ impl PathOram {
     /// found; `Ok(())` when the structure is sound.
     pub fn check_invariants(&self) -> Result<(), InvariantError> {
         let layout = self.layout();
-        let mut seen: HashMap<u64, String> = HashMap::new();
+        let mut seen: BTreeMap<u64, String> = BTreeMap::new();
         let mut record = |addr: BlockAddr, place: String| -> Result<(), InvariantError> {
             if let Some(first) = seen.insert(addr.0, place.clone()) {
                 return Err(InvariantError::DuplicateResidence {
@@ -139,7 +139,7 @@ impl PathOram {
         };
 
         // Tree blocks: position + leaf consistency + per-level Z bounds.
-        let mut bucket_fill: HashMap<(usize, u64), usize> = HashMap::new();
+        let mut bucket_fill: BTreeMap<(usize, u64), usize> = BTreeMap::new();
         for (level, bucket, block) in self.tree().iter_blocks() {
             record(block.addr, format!("tree L{level}/B{bucket}"))?;
             let fill = bucket_fill.entry((level, bucket)).or_insert(0);
@@ -169,7 +169,7 @@ impl PathOram {
             if let Err(detail) = top.check_coherence() {
                 return Err(InvariantError::StoreIncoherent { detail });
             }
-            let mut top_fill: HashMap<(usize, u64), usize> = HashMap::new();
+            let mut top_fill: BTreeMap<(usize, u64), usize> = BTreeMap::new();
             for (level, bucket, block) in top.blocks() {
                 record(block.addr, format!("top L{level}/B{bucket}"))?;
                 let fill = top_fill.entry((level, bucket)).or_insert(0);

@@ -1,6 +1,7 @@
 //! The fully-associative stash (the paper's F-Stash).
 
 use serde::{Deserialize, Serialize};
+// lint: allow(determinism, hot-path lookup map; every iteration sorts keys before use)
 use std::collections::HashMap;
 
 use crate::{BlockAddr, Leaf, StoredBlock, TreeLayout};
@@ -25,6 +26,7 @@ use crate::{BlockAddr, Leaf, StoredBlock, TreeLayout};
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Stash {
+    // lint: allow(determinism, hot-path lookup map; write-back planning sorts candidates)
     blocks: HashMap<u64, StoredBlock>,
     capacity: usize,
     max_occupancy: usize,
@@ -105,6 +107,7 @@ impl Stash {
     /// 200 entries, Table I).
     pub fn new(capacity: usize) -> Self {
         Stash {
+            // lint: allow(determinism, hot-path lookup map; iteration order never observed)
             blocks: HashMap::new(),
             capacity,
             max_occupancy: 0,

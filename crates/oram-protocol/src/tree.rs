@@ -2,7 +2,7 @@
 //! per-bucket integrity layer (checksums verified on read, repair by
 //! re-fetch) and a fault-injection surface for corrupting stored lines.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -59,7 +59,7 @@ pub struct OramTree {
     /// Outstanding injected corruptions: flat bucket index → `(slot, mask)`
     /// pairs whose XOR has been applied to the stored payload but not yet
     /// repaired or consumed.
-    injected: HashMap<usize, Vec<(u32, u64)>>,
+    injected: BTreeMap<usize, Vec<(u32, u64)>>,
     istats: IntegrityStats,
 }
 
@@ -94,7 +94,7 @@ impl OramTree {
             used_per_level,
             integrity: false,
             sums: Vec::new(),
-            injected: HashMap::new(),
+            injected: BTreeMap::new(),
             istats: IntegrityStats::default(),
         }
     }
