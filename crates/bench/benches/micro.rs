@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use iroram_cache::{CacheConfig, HierarchyConfig, MemoryHierarchy, SetAssocCache};
-use iroram_dram::{DramConfig, DramSystem, MemRequest, SubtreeLayout};
+use iroram_dram::{AddressMapping, DramConfig, DramSystem, Interleave, MemRequest, SubtreeLayout};
 use iroram_hash::{md5_u64, mix64, FeistelCipher};
 use iroram_protocol::{Leaf, Stash, StoredBlock, TreeLayout, WritebackPlan, ZAllocation};
 use iroram_sim_engine::{Cycle, SimRng};
@@ -54,6 +54,73 @@ fn bench_dram(c: &mut Criterion) {
                 .map(|&a| MemRequest::read(a, Cycle(t)))
                 .collect();
             std::hint::black_box(dram.schedule_batch_done(&reqs, Cycle(t)))
+        })
+    });
+    g.finish();
+}
+
+/// A mixed read/write batch with shuffled addresses (no subtree locality),
+/// exercising the scheduler's queue handling rather than row-hit luck.
+fn shuffled_batch(n: usize) -> Vec<MemRequest> {
+    (0..n)
+        .map(|i| {
+            let addr = (i as u64).wrapping_mul(2_654_435_761) % 40_000;
+            let arrival = Cycle((i as u64 * 7) % 50);
+            if i % 3 == 0 {
+                MemRequest::write(addr, arrival)
+            } else {
+                MemRequest::read(addr, arrival)
+            }
+        })
+        .collect()
+}
+
+fn bench_schedule_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_batch");
+    for channels in [1u32, 2, 4] {
+        for n in [16usize, 64, 256] {
+            g.throughput(Throughput::Elements(n as u64));
+            g.bench_function(&format!("ch{channels}_n{n}"), |b| {
+                let cfg = DramConfig {
+                    mapping: AddressMapping::new(channels, 8, 128, Interleave::CacheLine),
+                    ..DramConfig::default()
+                };
+                let mut dram = DramSystem::new(cfg);
+                let batch = shuffled_batch(n);
+                b.iter(|| std::hint::black_box(dram.schedule_batch(&batch)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_path_requests(c: &mut Criterion) {
+    let mut g = c.benchmark_group("path_requests");
+    let layout = SubtreeLayout::new(&[0, 0, 0, 0, 0, 0, 0, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4], 4);
+    let path_len = layout.path_slots(0, 0).len() as u64;
+    g.throughput(Throughput::Elements(path_len));
+    // The per-access allocation path the controllers used to run.
+    g.bench_function("path_slots_collect", |b| {
+        let mut leaf = 0u64;
+        b.iter(|| {
+            leaf = (leaf + 12_345) % (1 << 16);
+            let reqs: Vec<MemRequest> = layout
+                .path_slots(leaf, 0)
+                .into_iter()
+                .map(|a| MemRequest::read(a, Cycle(7)))
+                .collect();
+            std::hint::black_box(reqs)
+        })
+    });
+    // The precomputed table fill the controllers run now.
+    g.bench_function("path_table_fill", |b| {
+        let table = layout.path_table(0);
+        let mut buf: Vec<MemRequest> = Vec::new();
+        let mut leaf = 0u64;
+        b.iter(|| {
+            leaf = (leaf + 12_345) % (1 << 16);
+            table.fill_reads(leaf, 0, Cycle(7), &mut buf);
+            std::hint::black_box(buf.len())
         })
     });
     g.finish();
@@ -134,6 +201,6 @@ fn bench_stash(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_hash, bench_dram, bench_cache, bench_stash
+    targets = bench_hash, bench_dram, bench_schedule_batch, bench_path_requests, bench_cache, bench_stash
 }
 criterion_main!(micro);

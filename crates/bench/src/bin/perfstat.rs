@@ -17,6 +17,7 @@ use std::time::Instant;
 use ir_oram::ALL_SCHEMES;
 use iroram_experiments::runner::{perf_benches, run_scheme};
 use iroram_experiments::ExpOptions;
+use iroram_sim_engine::profiler;
 
 struct SchemeStat {
     scheme: &'static str,
@@ -33,6 +34,7 @@ fn scale_name(opts: &ExpOptions) -> &'static str {
         ("full", ExpOptions::full()),
     ] {
         probe.jobs = base.jobs;
+        probe.profile = base.profile;
         if probe == base {
             return name;
         }
@@ -60,9 +62,15 @@ fn main() {
         opts.mem_ops,
     );
 
+    if opts.profile {
+        profiler::set_enabled(true);
+    }
     let mut stats: Vec<SchemeStat> = Vec::new();
     let total_start = Instant::now();
     for scheme in ALL_SCHEMES {
+        if opts.profile {
+            profiler::reset();
+        }
         let start = Instant::now();
         let reports = run_scheme(&opts, scheme, &benches);
         let wall = start.elapsed().as_secs_f64();
@@ -75,6 +83,16 @@ fn main() {
             wall,
             ops_per_sec
         );
+        if opts.profile {
+            for s in profiler::snapshot() {
+                println!(
+                    "      {:<14} {:>8.3}s {:>10} calls",
+                    s.phase.name(),
+                    s.seconds(),
+                    s.calls
+                );
+            }
+        }
         stats.push(SchemeStat {
             scheme: scheme.name(),
             mem_ops,
@@ -129,5 +147,28 @@ fn main() {
             eprintln!("error: could not write {path}: {e}");
             std::process::exit(1);
         }
+    }
+
+    // Append-only run history, so throughput regressions have a trail to
+    // diff against (the snapshot file above only holds the latest run).
+    let hist_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_history.jsonl");
+    let epoch_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let line = format!(
+        "{{\"epoch_secs\": {epoch_secs}, \"scale\": \"{}\", \"jobs\": {jobs}, \
+         \"total_mem_ops\": {total_ops}, \"total_wall_seconds\": {total_wall:.6}, \
+         \"total_mem_ops_per_sec\": {total_rate:.1}}}\n",
+        scale_name(&opts)
+    );
+    use std::io::Write as _;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(hist_path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    match appended {
+        Ok(()) => println!("appended run to {hist_path}"),
+        Err(e) => eprintln!("warning: could not append {hist_path}: {e}"),
     }
 }

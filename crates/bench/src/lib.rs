@@ -12,11 +12,20 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use iroram_experiments::{ExpOptions, Table};
+use iroram_sim_engine::profiler;
 
 /// Runs one experiment binary: parses scale flags, times the build, prints
 /// the table, and (when `--csv <dir>` is given) writes a CSV next to it.
+///
+/// Under `--profile` the wall-clock phase profiler is enabled for the run
+/// and a phase table goes to **stderr** — stdout (the report) is
+/// byte-identical with profiling on or off.
 pub fn harness(name: &str, build: impl FnOnce(&ExpOptions) -> Table) {
     let opts = ExpOptions::from_args();
+    if opts.profile {
+        profiler::reset();
+        profiler::set_enabled(true);
+    }
     let start = Instant::now();
     let table = build(&opts);
     println!("{table}");
@@ -24,6 +33,10 @@ pub fn harness(name: &str, build: impl FnOnce(&ExpOptions) -> Table) {
         "[{name}] completed in {:.1?} at scale {opts:?}",
         start.elapsed()
     );
+    if opts.profile {
+        profiler::set_enabled(false);
+        eprint!("{}", phase_table(name, start.elapsed().as_secs_f64()));
+    }
     if let Some(dir) = csv_dir() {
         let path = dir.join(format!("{name}.csv"));
         if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| table.write_csv(&path)) {
@@ -32,6 +45,41 @@ pub fn harness(name: &str, build: impl FnOnce(&ExpOptions) -> Table) {
             eprintln!("[{name}] wrote {}", path.display());
         }
     }
+}
+
+/// Renders the profiler's current accumulators as a stderr-ready table.
+///
+/// `wall_secs` is the harness's own elapsed wall time; the `other` row is
+/// what it doesn't attribute to any instrumented phase. With `--jobs N` the
+/// phase pools sum across workers, so phase totals can exceed wall time.
+pub fn phase_table(name: &str, wall_secs: f64) -> String {
+    use std::fmt::Write as _;
+    let snap = profiler::snapshot();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "[{name}] phase profile (wall time; reports unaffected):"
+    );
+    let _ = writeln!(out, "  {:<14} {:>10} {:>12}", "phase", "seconds", "calls");
+    let mut accounted = 0.0;
+    for s in snap {
+        accounted += s.seconds();
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>10.3} {:>12}",
+            s.phase.name(),
+            s.seconds(),
+            s.calls
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>10.3} {:>12}",
+        "other",
+        (wall_secs - accounted).max(0.0),
+        "-"
+    );
+    out
 }
 
 /// The `--csv <dir>` argument, if present.

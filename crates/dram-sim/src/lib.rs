@@ -44,6 +44,8 @@ mod timing;
 
 pub use address::{AddressMapping, DecodedAddr, Interleave};
 pub use bank::BankState;
-pub use subtree::SubtreeLayout;
+pub use subtree::{PathTable, SubtreeLayout};
 pub use system::{Completion, DramConfig, DramStats, DramSystem, MemRequest};
+#[cfg(any(test, feature = "reference-scheduler"))]
+pub use system::reference;
 pub use timing::DramTimings;

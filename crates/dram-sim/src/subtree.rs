@@ -162,6 +162,91 @@ impl SubtreeLayout {
             .map(|&z| z as u64)
             .sum()
     }
+
+    /// Precomputes the path→line-address fill table for paths addressed
+    /// from `from_level` down.
+    ///
+    /// The subtree layout is fixed at construction, so everything about a
+    /// path's addresses except the leaf is static: per memory-backed level,
+    /// the leaf→bucket shift, the bucket→subtree split, and the combined
+    /// base offset. [`PathTable::fill_reads`] then generates a whole path's
+    /// requests with two shifts, a mask and two multiplies per level — no
+    /// asserts, no allocation.
+    pub fn path_table(&self, from_level: usize) -> PathTable {
+        let mut rows = Vec::new();
+        let mut path_len = 0usize;
+        for level in from_level..self.levels() {
+            let z = self.z_per_level[level];
+            if z == 0 {
+                continue;
+            }
+            rows.push(PathRow {
+                shift: (self.levels() - 1 - level) as u32,
+                depth: self.depth_in_group[level],
+                base: self.group_base[level] + self.level_offset[level],
+                subtree_size: self.subtree_size[level],
+                z,
+            });
+            path_len += z as usize;
+        }
+        PathTable { rows, path_len }
+    }
+}
+
+/// Per-level precomputed constants for one memory-backed level of a
+/// [`PathTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct PathRow {
+    /// `levels - 1 - level`: shifts a leaf down to this level's bucket.
+    shift: u32,
+    /// Depth of the level inside its subtree group.
+    depth: u32,
+    /// `group_base + level_offset`, folded into one constant.
+    base: u64,
+    /// Lines per subtree of this level's group.
+    subtree_size: u64,
+    /// Bucket slot count at this level.
+    z: u32,
+}
+
+/// A precomputed path→line-address table (see
+/// [`SubtreeLayout::path_table`]): turns per-access address arithmetic into
+/// a table fill over reused buffers. Produces exactly the addresses of
+/// [`SubtreeLayout::path_slots`], in the same order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathTable {
+    rows: Vec<PathRow>,
+    path_len: usize,
+}
+
+impl PathTable {
+    /// Number of lines one path access touches (the paper's "PL").
+    pub fn path_len(&self) -> usize {
+        self.path_len
+    }
+
+    /// Clears `out` and fills it with one read request per line on the
+    /// path to `leaf`, all arriving at `arrival`, each address displaced by
+    /// `offset` (ρ's small tree lives after the main tree's region).
+    pub fn fill_reads(
+        &self,
+        leaf: u64,
+        offset: u64,
+        arrival: iroram_sim_engine::Cycle,
+        out: &mut Vec<crate::MemRequest>,
+    ) {
+        out.clear();
+        out.reserve(self.path_len);
+        for r in &self.rows {
+            let bucket = leaf >> r.shift;
+            let root = bucket >> r.depth;
+            let within = bucket & ((1u64 << r.depth) - 1);
+            let base = offset + r.base + root * r.subtree_size + within * r.z as u64;
+            for addr in base..base + r.z as u64 {
+                out.push(crate::MemRequest::read(addr, arrival));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -285,5 +370,42 @@ mod tests {
     fn bucket_bounds_checked() {
         let layout = SubtreeLayout::new(&[4, 4], 2);
         let _ = layout.slot_addr(1, 2, 0);
+    }
+
+    #[test]
+    fn path_table_matches_path_slots() {
+        use iroram_sim_engine::Cycle;
+        let shapes: [(&[u32], u32, usize); 4] = [
+            (&[4, 4, 4, 4, 4, 4], 2, 0),
+            (&[0, 0, 2, 4, 4], 2, 0),
+            (&[4, 4, 2, 2, 3, 4], 3, 2),
+            (&[4; 9], 4, 0),
+        ];
+        let mut out = Vec::new();
+        for (z, g, from) in shapes {
+            let layout = SubtreeLayout::new(z, g);
+            let table = layout.path_table(from);
+            assert_eq!(table.path_len() as u64, layout.path_len(from));
+            for leaf in 0..(1u64 << (layout.levels() - 1)) {
+                table.fill_reads(leaf, 0, Cycle(7), &mut out);
+                let expect = layout.path_slots(leaf, from);
+                let got: Vec<u64> = out.iter().map(|r| r.line_addr).collect();
+                assert_eq!(got, expect, "leaf {leaf} of {z:?} group {g} from {from}");
+                assert!(out.iter().all(|r| !r.is_write && r.arrival == Cycle(7)));
+            }
+        }
+    }
+
+    #[test]
+    fn path_table_offset_displaces_all_addresses() {
+        use iroram_sim_engine::Cycle;
+        let layout = SubtreeLayout::new(&[4; 5], 2);
+        let table = layout.path_table(0);
+        let (mut plain, mut displaced) = (Vec::new(), Vec::new());
+        table.fill_reads(9, 0, Cycle(0), &mut plain);
+        table.fill_reads(9, 1000, Cycle(0), &mut displaced);
+        let shifted: Vec<u64> = plain.iter().map(|r| r.line_addr + 1000).collect();
+        let got: Vec<u64> = displaced.iter().map(|r| r.line_addr).collect();
+        assert_eq!(got, shifted);
     }
 }

@@ -3,7 +3,7 @@
 use iroram_sim_engine::Cycle;
 use serde::{Deserialize, Serialize};
 
-use crate::{AddressMapping, BankState, DramTimings};
+use crate::{AddressMapping, BankState, DecodedAddr, DramTimings};
 
 /// A single cache-line memory request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -129,6 +129,23 @@ struct Channel {
     last_was_write: Option<bool>,
 }
 
+/// A request with its address decoded exactly once, at enqueue. The channel
+/// is implicit (one scratch queue per channel), so the FR-FCFS scan reads
+/// `(bank, row)` straight from the entry instead of re-dividing the line
+/// address on every window iteration.
+#[derive(Debug, Clone, Copy)]
+struct DecodedRequest {
+    /// Position of the request in the submitted batch.
+    orig_idx: u32,
+    bank: u32,
+    row: u64,
+    is_write: bool,
+    arrival: Cycle,
+    /// Set once the request has been scheduled; served entries stay in
+    /// place (no tail shifting) and the scan skips them.
+    served: bool,
+}
+
 /// A multi-channel DRAM memory system with FR-FCFS scheduling.
 ///
 /// The model is transaction-level: callers submit batches of requests (e.g.
@@ -152,23 +169,33 @@ pub struct DramSystem {
     /// request, so this is kept out of [`DramStats`] (it is not a property
     /// of the modeled memory system) and asserted zero by the audit layer.
     latency_underflows: u64,
+    /// Per-channel scratch queues for [`DramSystem::schedule_batch`]:
+    /// cleared at the start of every batch, never deallocated, so the
+    /// steady state schedules with zero heap traffic.
+    queues: Vec<Vec<DecodedRequest>>,
+    /// Direct-placement completion buffer: slot `i` receives request `i`'s
+    /// completion as it is scheduled, so no final sort is needed.
+    out: Vec<Completion>,
 }
 
 impl DramSystem {
     /// Creates a system in the all-banks-idle state.
     pub fn new(cfg: DramConfig) -> Self {
-        let channels = (0..cfg.mapping.channels())
+        let channels: Vec<Channel> = (0..cfg.mapping.channels())
             .map(|_| Channel {
                 banks: vec![BankState::new(); cfg.mapping.banks() as usize],
                 bus_free: Cycle::ZERO,
                 last_was_write: None,
             })
             .collect();
+        let queues = vec![Vec::new(); channels.len()];
         DramSystem {
             cfg,
             channels,
             stats: DramStats::default(),
             latency_underflows: 0,
+            queues,
+            out: Vec::new(),
         }
     }
 
@@ -196,6 +223,262 @@ impl DramSystem {
     /// exceed any request's arrival by the queueing delay implied by bank
     /// and bus contention.
     pub fn schedule_batch(&mut self, requests: &[MemRequest]) -> Vec<Completion> {
+        #[cfg(any(test, feature = "reference-scheduler"))]
+        if reference::forced() {
+            return self.schedule_batch_reference(requests);
+        }
+        self.run_batch(requests);
+        self.out.clone()
+    }
+
+    /// Convenience: schedules a batch and returns the latest completion time
+    /// (the phase-done time the ORAM controller waits on), or `at` for an
+    /// empty batch. This is the allocation-free path the ORAM controllers
+    /// sit on: completions land in the internal buffer and only the fold
+    /// result escapes.
+    pub fn schedule_batch_done(&mut self, requests: &[MemRequest], at: Cycle) -> Cycle {
+        #[cfg(any(test, feature = "reference-scheduler"))]
+        if reference::forced() {
+            return self
+                .schedule_batch_reference(requests)
+                .into_iter()
+                .map(|c| c.completion)
+                .fold(at, Cycle::max);
+        }
+        at.max(self.run_batch(requests))
+    }
+
+    /// The FR-FCFS scheduling core. Fills `self.out` (slot `i` = request
+    /// `i`'s completion) and returns the latest completion in the batch
+    /// ([`Cycle::ZERO`] for an empty batch).
+    ///
+    /// Uses the persistent per-channel scratch queues: each request is
+    /// decoded exactly once at enqueue, and served entries are flagged in
+    /// place (index-cursor scan) rather than removed, so a batch performs no
+    /// heap allocation and no tail shifting once the scratch has warmed up.
+    fn run_batch(&mut self, requests: &[MemRequest]) -> Cycle {
+        let t = self.cfg.timings;
+        let window = self.cfg.reorder_window.max(1);
+        let DramSystem {
+            cfg,
+            channels,
+            stats,
+            latency_underflows,
+            queues,
+            out,
+        } = self;
+        // Partition into the per-channel scratch queues, decoding once.
+        for q in queues.iter_mut() {
+            q.clear();
+        }
+        for (i, req) in requests.iter().enumerate() {
+            let d = decode_once(&cfg.mapping, req.line_addr);
+            // lint: allow(panic, decode returns channel < cfg.mapping.channels() == queues.len() by construction)
+            queues[d.channel as usize].push(DecodedRequest {
+                orig_idx: i as u32,
+                bank: d.bank,
+                row: d.row,
+                is_write: req.is_write,
+                arrival: req.arrival,
+                served: false,
+            });
+        }
+        out.clear();
+        let placeholder = Completion {
+            index: 0,
+            completion: Cycle::ZERO,
+            row_hit: false,
+        };
+        out.resize(requests.len(), placeholder);
+        let mut latest = Cycle::ZERO;
+        for (ch, queue) in channels.iter_mut().zip(queues.iter_mut()) {
+            // `head` is the oldest unserved entry; everything before it is
+            // served. Picks are always within `window` unserved entries of
+            // `head`, so the skip loops below touch at most a window's worth
+            // of served holes.
+            let mut head = 0usize;
+            let mut remaining = queue.len();
+            while remaining > 0 {
+                // lint: allow(panic, head < queue.len(): `remaining` unserved entries all sit at or after head)
+                while queue[head].served {
+                    head += 1;
+                }
+                // FR-FCFS: among the window of oldest requests, pick the
+                // first row hit; otherwise the oldest. A hit may only be
+                // hoisted over the oldest request if it has arrived by the
+                // time the channel could start serving that oldest request —
+                // otherwise the channel would idle-wait on a future arrival
+                // while an already-arrived request sits queued (priority
+                // inversion that the latency-underflow audit flagged).
+                // lint: allow(panic, head was just positioned on an unserved entry)
+                let hoist_gate = queue[head].arrival.max(ch.bus_free);
+                let limit = window.min(remaining);
+                let mut pick = head;
+                let mut seen = 0usize;
+                let mut j = head;
+                loop {
+                    // lint: allow(panic, at most `remaining` unserved entries lie at or after j, so j stays in bounds until `limit` are seen)
+                    let e = queue[j];
+                    if !e.served {
+                        // lint: allow(panic, decode returns bank < cfg.mapping.banks() == ch.banks.len() by construction)
+                        if e.arrival <= hoist_gate && ch.banks[e.bank as usize].would_hit(e.row) {
+                            pick = j;
+                            break;
+                        }
+                        seen += 1;
+                        if seen == limit {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                // lint: allow(panic, pick indexes an unserved entry found by the scan above)
+                let e = &mut queue[pick];
+                e.served = true;
+                remaining -= 1;
+                let e = *e;
+                if pick == head {
+                    head += 1;
+                }
+                // lint: allow(panic, decode returns bank < cfg.mapping.banks() == ch.banks.len() by construction)
+                let acc = ch.banks[e.bank as usize].access(e.row, e.is_write, e.arrival, &t);
+                // Data transfer: CAS + CL (or CWL) to first beat, bus holds
+                // for t_burst; serialize on the channel data bus.
+                let lat = if e.is_write { t.cwl } else { t.cl };
+                // Channel-level read↔write turnaround: switching the data
+                // bus direction costs bus idle time (write-to-read pays
+                // tWTR; read-to-write pays the CL/CWL offset plus a bubble).
+                let turnaround = match ch.last_was_write {
+                    Some(last) if last != e.is_write => {
+                        if last {
+                            t.t_wtr + 2
+                        } else {
+                            (t.cl - t.cwl) + 2
+                        }
+                    }
+                    _ => 0,
+                };
+                let data_start = (acc.cas_issue + lat).max(ch.bus_free + turnaround);
+                let completion = data_start + t.t_burst;
+                ch.bus_free = completion;
+                ch.last_was_write = Some(e.is_write);
+                // Account.
+                stats.requests += 1;
+                if e.is_write {
+                    stats.writes += 1;
+                } else {
+                    stats.reads += 1;
+                }
+                if acc.row_hit {
+                    stats.row_hits += 1;
+                } else if acc.row_empty {
+                    stats.row_empties += 1;
+                } else {
+                    stats.row_conflicts += 1;
+                }
+                match completion.raw().checked_sub(e.arrival.raw()) {
+                    Some(lat) => stats.total_latency += lat,
+                    None => {
+                        // Completion before arrival means the scheduler
+                        // violated causality; record it for the audit
+                        // instead of silently clamping to zero latency.
+                        *latency_underflows += 1;
+                        debug_assert!(
+                            false,
+                            "DRAM completion {completion} precedes arrival {}",
+                            e.arrival
+                        );
+                    }
+                }
+                stats.bus_busy_cycles += t.t_burst;
+                stats.last_completion = stats.last_completion.max(completion.raw());
+                latest = latest.max(completion);
+                // Direct placement: request i's completion goes to slot i,
+                // so the batch needs no final sort.
+                // lint: allow(panic, orig_idx < requests.len() == out.len() by construction)
+                out[e.orig_idx as usize] = Completion {
+                    index: e.orig_idx as usize,
+                    completion,
+                    row_hit: acc.row_hit,
+                };
+            }
+        }
+        latest
+    }
+
+    /// Models a refresh-ish global row closure (used between benchmark runs
+    /// and by tests).
+    pub fn close_all_rows(&mut self, at: Cycle) {
+        let t = self.cfg.timings;
+        for ch in &mut self.channels {
+            for b in &mut ch.banks {
+                b.close_row(at, &t);
+            }
+        }
+    }
+}
+
+/// The scheduler's only call into [`AddressMapping::decode`] — a wrapper so
+/// tests can count invocations and assert the decode-once contract (exactly
+/// one decode per request per batch).
+#[inline]
+fn decode_once(mapping: &AddressMapping, line_addr: u64) -> DecodedAddr {
+    #[cfg(test)]
+    decode_count::note();
+    mapping.decode(line_addr)
+}
+
+/// Test-only decode-call counter behind [`decode_once`].
+#[cfg(test)]
+pub(crate) mod decode_count {
+    use std::cell::Cell;
+
+    thread_local! {
+        static CALLS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(crate) fn note() {
+        CALLS.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Decode calls made by the scheduler on this thread so far.
+    pub(crate) fn calls() -> u64 {
+        CALLS.with(Cell::get)
+    }
+}
+
+/// Runtime switch routing [`DramSystem::schedule_batch`] (and `_done`)
+/// through the naive reference scheduler, so differential tests can run a
+/// whole simulation against the pre-optimization implementation. The switch
+/// is thread-local: equivalence tests force it on their own thread (run
+/// cells with `jobs = 1`) without perturbing parallel neighbours.
+#[cfg(any(test, feature = "reference-scheduler"))]
+pub mod reference {
+    use std::cell::Cell;
+
+    thread_local! {
+        static FORCE: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Forces (or releases) the reference scheduler on this thread.
+    pub fn force(on: bool) {
+        FORCE.with(|f| f.set(on));
+    }
+
+    /// Whether the reference scheduler is forced on this thread.
+    pub fn forced() -> bool {
+        FORCE.with(Cell::get)
+    }
+}
+
+/// The pre-optimization scheduler, kept verbatim as the differential-testing
+/// oracle for the decoded-request pipeline: allocate-per-batch queues, a
+/// decode per scan candidate, `remove(pick)` tail shifts, and a final sort.
+/// Every report must be byte-identical whichever implementation runs.
+#[cfg(any(test, feature = "reference-scheduler"))]
+impl DramSystem {
+    /// [`DramSystem::schedule_batch`] as originally written (naive FR-FCFS).
+    pub fn schedule_batch_reference(&mut self, requests: &[MemRequest]) -> Vec<Completion> {
         let t = self.cfg.timings;
         let window = self.cfg.reorder_window.max(1);
         // Partition into per-channel queues, keeping original indices.
@@ -209,13 +492,6 @@ impl DramSystem {
         for (ch_idx, mut queue) in queues.into_iter().enumerate() {
             let ch = &mut self.channels[ch_idx];
             while !queue.is_empty() {
-                // FR-FCFS: among the window of oldest requests, pick the
-                // first row hit; otherwise the oldest. A hit may only be
-                // hoisted over the oldest request if it has arrived by the
-                // time the channel could start serving that oldest request —
-                // otherwise the channel would idle-wait on a future arrival
-                // while an already-arrived request sits queued (priority
-                // inversion that the latency-underflow audit flagged).
                 let scan = queue.len().min(window);
                 let hoist_gate = queue[0].1.arrival.max(ch.bus_free);
                 let pick = queue[..scan]
@@ -228,12 +504,7 @@ impl DramSystem {
                 let (orig_idx, req) = queue.remove(pick);
                 let d = self.cfg.mapping.decode(req.line_addr);
                 let acc = ch.banks[d.bank as usize].access(d.row, req.is_write, req.arrival, &t);
-                // Data transfer: CAS + CL (or CWL) to first beat, bus holds
-                // for t_burst; serialize on the channel data bus.
                 let lat = if req.is_write { t.cwl } else { t.cl };
-                // Channel-level read↔write turnaround: switching the data
-                // bus direction costs bus idle time (write-to-read pays
-                // tWTR; read-to-write pays the CL/CWL offset plus a bubble).
                 let turnaround = match ch.last_was_write {
                     Some(last) if last != req.is_write => {
                         if last {
@@ -248,7 +519,6 @@ impl DramSystem {
                 let completion = data_start + t.t_burst;
                 ch.bus_free = completion;
                 ch.last_was_write = Some(req.is_write);
-                // Account.
                 self.stats.requests += 1;
                 if req.is_write {
                     self.stats.writes += 1;
@@ -265,9 +535,6 @@ impl DramSystem {
                 match completion.raw().checked_sub(req.arrival.raw()) {
                     Some(lat) => self.stats.total_latency += lat,
                     None => {
-                        // Completion before arrival means the scheduler
-                        // violated causality; record it for the audit
-                        // instead of silently clamping to zero latency.
                         self.latency_underflows += 1;
                         debug_assert!(
                             false,
@@ -287,27 +554,6 @@ impl DramSystem {
         }
         out.sort_by_key(|c| c.index);
         out
-    }
-
-    /// Convenience: schedules a batch and returns the latest completion time
-    /// (the phase-done time the ORAM controller waits on), or `at` for an
-    /// empty batch.
-    pub fn schedule_batch_done(&mut self, requests: &[MemRequest], at: Cycle) -> Cycle {
-        self.schedule_batch(requests)
-            .into_iter()
-            .map(|c| c.completion)
-            .fold(at, Cycle::max)
-    }
-
-    /// Models a refresh-ish global row closure (used between benchmark runs
-    /// and by tests).
-    pub fn close_all_rows(&mut self, at: Cycle) {
-        let t = self.cfg.timings;
-        for ch in &mut self.channels {
-            for b in &mut ch.banks {
-                b.close_row(at, &t);
-            }
-        }
     }
 }
 
@@ -482,5 +728,109 @@ mod tests {
         let mut d = sys();
         let done = d.schedule_batch(&[MemRequest::read(0, Cycle(10_000))]);
         assert!(done[0].completion > Cycle(10_000));
+    }
+
+    /// A shuffled multi-channel batch mixing rows, banks, directions and
+    /// arrivals — enough to exercise hoisting, turnaround and cross-channel
+    /// interleaving in one go.
+    fn shuffled_batch(n: u64) -> Vec<MemRequest> {
+        (0..n)
+            .map(|i| {
+                // A multiplicative shuffle (odd constant => bijection mod 2^k
+                // ranges is not needed; spread is what matters).
+                let addr = (i * 2654435761) % 40_000;
+                if i % 3 == 0 {
+                    MemRequest::write(addr, Cycle(i * 7 % 50))
+                } else {
+                    MemRequest::read(addr, Cycle(i * 5 % 50))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn decode_runs_exactly_once_per_request_per_batch() {
+        let mut d = sys();
+        let reqs = shuffled_batch(64);
+        let before = decode_count::calls();
+        d.schedule_batch(&reqs);
+        assert_eq!(
+            decode_count::calls() - before,
+            64,
+            "decode must run exactly N times for an N-request batch"
+        );
+        // And again for the allocation-free done path.
+        let before = decode_count::calls();
+        d.schedule_batch_done(&reqs, Cycle(0));
+        assert_eq!(decode_count::calls() - before, 64);
+    }
+
+    #[test]
+    fn completions_are_in_input_order_for_shuffled_batch() {
+        let mut d = sys();
+        let reqs = shuffled_batch(100);
+        let done = d.schedule_batch(&reqs);
+        assert_eq!(done.len(), reqs.len());
+        for (i, c) in done.iter().enumerate() {
+            assert_eq!(c.index, i, "slot {i} holds completion for request {}", c.index);
+        }
+    }
+
+    #[test]
+    fn matches_reference_scheduler_across_batches() {
+        // Same request stream through both implementations, multiple batches
+        // so bank/bus state differences would accumulate and surface.
+        let cfgs = [
+            DramConfig::default(),
+            DramConfig {
+                mapping: AddressMapping::new(1, 2, 8, Interleave::CacheLine),
+                reorder_window: 4,
+                ..DramConfig::default()
+            },
+            DramConfig {
+                mapping: AddressMapping::new(2, 4, 16, Interleave::Row),
+                reorder_window: 1,
+                ..DramConfig::default()
+            },
+        ];
+        for cfg in cfgs {
+            let mut fast = DramSystem::new(cfg);
+            let mut naive = DramSystem::new(cfg);
+            for batch in 0..8u64 {
+                let reqs = shuffled_batch(48 + batch * 7);
+                let a = fast.schedule_batch(&reqs);
+                let b = naive.schedule_batch_reference(&reqs);
+                assert_eq!(a, b, "batch {batch}");
+                assert_eq!(fast.stats(), naive.stats(), "stats after batch {batch}");
+                assert_eq!(fast.latency_underflows(), naive.latency_underflows());
+            }
+        }
+    }
+
+    #[test]
+    fn reference_force_switch_routes_public_api() {
+        let reqs = shuffled_batch(32);
+        let mut a = sys();
+        let mut b = sys();
+        reference::force(true);
+        let forced = a.schedule_batch(&reqs);
+        let forced_done = b.schedule_batch_done(&reqs, Cycle(3));
+        reference::force(false);
+        let mut c = sys();
+        let mut d = sys();
+        assert_eq!(forced, c.schedule_batch(&reqs));
+        assert_eq!(forced_done, d.schedule_batch_done(&reqs, Cycle(3)));
+    }
+
+    #[test]
+    fn scratch_buffers_persist_and_stay_clean_across_batches() {
+        let mut d = sys();
+        // A big batch warms the scratch; a following small batch must not
+        // see stale entries (wrong stats/completions would betray leakage).
+        d.schedule_batch(&shuffled_batch(256));
+        let before = d.stats().requests;
+        let done = d.schedule_batch(&shuffled_batch(3));
+        assert_eq!(done.len(), 3);
+        assert_eq!(d.stats().requests - before, 3);
     }
 }

@@ -51,6 +51,9 @@ usage: <experiment> [--quick | --standard | --full] [--jobs N] [--csv DIR] [--au
   --resume     journal finished cells to a JSONL file and skip any cell the
                journal already holds (path: $IRORAM_RESUME_PATH, default
                iroram-resume.jsonl)
+  --profile    time the simulator's steady-state phases (DRAM schedule,
+               stash, posmap, LLC) and print a wall-time table to stderr;
+               reports stay byte-identical
   --set K=V    override one scalar SystemConfig field in every cell
                (e.g. --set t_interval=2000; repeatable; applied after the
                scheme matrix, validated at parse time)";
@@ -84,6 +87,10 @@ pub struct ExpOptions {
     /// Journal finished cells to [`resume_path`] and answer already-journaled
     /// cells from it, so an interrupted sweep can pick up where it died.
     pub resume: bool,
+    /// Enable the wall-clock phase profiler (`iroram_sim_engine::profiler`)
+    /// and print a phase table to stderr after the run. Never affects any
+    /// report: profiling observes wall time only.
+    pub profile: bool,
     /// `--set KEY=VALUE` overrides applied to every cell's [`SystemConfig`]
     /// (after the scheme matrix, in order). Keys are validated at parse
     /// time via [`SystemConfig::set_field`].
@@ -103,6 +110,7 @@ impl ExpOptions {
             jobs: 0,
             audit: false,
             resume: false,
+            profile: false,
             overrides: Vec::new(),
         }
     }
@@ -119,6 +127,7 @@ impl ExpOptions {
             jobs: 0,
             audit: false,
             resume: false,
+            profile: false,
             overrides: Vec::new(),
         }
     }
@@ -135,6 +144,7 @@ impl ExpOptions {
             jobs: 0,
             audit: false,
             resume: false,
+            profile: false,
             overrides: Vec::new(),
         }
     }
@@ -164,6 +174,7 @@ impl ExpOptions {
         let mut jobs: Option<usize> = None;
         let mut audit = false;
         let mut resume = false;
+        let mut profile = false;
         let mut overrides: Vec<(String, String)> = Vec::new();
         // Scratch config for validating --set keys/values at parse time, so
         // a typo fails before any cell has simulated.
@@ -173,6 +184,7 @@ impl ExpOptions {
             match args[i].as_str() {
                 "--audit" => audit = true,
                 "--resume" => resume = true,
+                "--profile" => profile = true,
                 "--set" => {
                     i += 1;
                     let kv = args.get(i).ok_or("--set requires KEY=VALUE")?;
@@ -218,6 +230,7 @@ impl ExpOptions {
         }
         opts.audit |= audit;
         opts.resume |= resume;
+        opts.profile |= profile;
         opts.overrides = overrides;
         Ok(opts)
     }
@@ -678,6 +691,21 @@ mod tests {
         // ...and it propagates into the cell configs.
         assert!(o.system(Scheme::Baseline).audit);
         assert!(!ExpOptions::quick().system(Scheme::IrOram).audit);
+    }
+
+    #[test]
+    fn parse_profile_flag() {
+        assert!(!ExpOptions::parse(&args(&[])).unwrap().profile);
+        let o = ExpOptions::parse(&args(&["--profile"])).unwrap();
+        assert!(o.profile);
+        // Scale flags keep a previously parsed --profile.
+        let o = ExpOptions::parse(&args(&["--profile", "--quick"])).unwrap();
+        assert!(o.profile && o.mem_ops == ExpOptions::quick().mem_ops);
+        // Profiling never reaches the simulated configuration: the cell
+        // configs are identical with it on or off.
+        let on = o.system(Scheme::Baseline);
+        let off = ExpOptions::quick().system(Scheme::Baseline);
+        assert_eq!(format!("{on:?}"), format!("{off:?}"));
     }
 
     #[test]

@@ -4,9 +4,9 @@ use std::collections::VecDeque;
 
 use iroram_cache::MemoryHierarchy;
 use serde::{Deserialize, Serialize};
-use iroram_dram::{DramSystem, MemRequest, SubtreeLayout};
+use iroram_dram::{DramSystem, MemRequest, PathTable, SubtreeLayout};
 use iroram_protocol::{BlockAddr, IntegrityStats, PathOram, PathRecord, RemapPolicy};
-use iroram_sim_engine::{ClockRatio, Cycle, FaultPlan, InjectedFaults};
+use iroram_sim_engine::{profiler, ClockRatio, Cycle, FaultPlan, InjectedFaults};
 
 use crate::audit::{AuditReport, AuditState};
 use crate::{DwbEngine, SimError, SystemConfig};
@@ -83,7 +83,12 @@ pub struct TimedController {
     /// The functional protocol instance.
     pub protocol: PathOram,
     dram: DramSystem,
-    layout_mem: SubtreeLayout,
+    /// Precomputed path→line-address table over the memory-backed layout
+    /// (the layout is fixed at construction, so this never changes).
+    path_table: PathTable,
+    /// Reused request buffer for path read/write-back batches: filled from
+    /// `path_table` per path, rewritten in place for the write phase.
+    reqs_buf: Vec<MemRequest>,
     t_interval: u64,
     timing_protection: bool,
     clock: ClockRatio,
@@ -135,6 +140,7 @@ impl TimedController {
             &protocol.layout().memory_z(cached),
             cfg.subtree_group,
         );
+        let path_table = layout_mem.path_table(0);
         let dwb = cfg
             .scheme
             .uses_dwb()
@@ -142,7 +148,8 @@ impl TimedController {
         TimedController {
             protocol,
             dram: DramSystem::new(cfg.dram),
-            layout_mem,
+            path_table,
+            reqs_buf: Vec::new(),
             t_interval: cfg.t_interval,
             timing_protection: cfg.timing_protection,
             clock: cfg.clock,
@@ -415,7 +422,10 @@ impl TimedController {
             match self.current.take() {
                 Some(Work::Request { req, mut pm }) => {
                     if let Some(pm_addr) = pm.pop_front() {
-                        let rec = self.protocol.fetch_posmap_block(pm_addr);
+                        let rec = {
+                            let _p = profiler::enter(profiler::Phase::PosMap);
+                            self.protocol.fetch_posmap_block(pm_addr)
+                        };
                         if let Some(audit) = &mut self.audit {
                             audit.oracle_read(pm_addr.0, rec.payload);
                         }
@@ -439,7 +449,10 @@ impl TimedController {
                         }
                         continue;
                     }
-                    let rec = self.protocol.data_access(req.addr, None);
+                    let rec = {
+                        let _p = profiler::enter(profiler::Phase::Stash);
+                        self.protocol.data_access(req.addr, None)
+                    };
                     if let Some(audit) = &mut self.audit {
                         audit.oracle_read(req.addr.0, rec.payload);
                     }
@@ -462,7 +475,10 @@ impl TimedController {
                 }
                 Some(Work::DelayedWb { addr, mut pm }) => {
                     if let Some(pm_addr) = pm.pop_front() {
-                        let rec = self.protocol.fetch_posmap_block(pm_addr);
+                        let rec = {
+                            let _p = profiler::enter(profiler::Phase::PosMap);
+                            self.protocol.fetch_posmap_block(pm_addr)
+                        };
                         if let Some(audit) = &mut self.audit {
                             audit.oracle_read(pm_addr.0, rec.payload);
                         }
@@ -486,7 +502,10 @@ impl TimedController {
             // Background eviction outranks new work: the stash must drain —
             // unless a fault-injected storm is suppressing it.
             if !self.storm_now && self.protocol.bg_evict_pending() {
-                issued = Some(self.protocol.bg_evict_once());
+                issued = Some({
+                    let _p = profiler::enter(profiler::Phase::Stash);
+                    self.protocol.bg_evict_once()
+                });
                 self.slot_stats.bg_slots += 1;
                 self.slot_stats.total_slots += 1;
                 self.finish_path(t, issued.expect("just issued"), None);
@@ -499,12 +518,14 @@ impl TimedController {
                 .is_some_and(|r| r.arrival <= t)
             {
                 let req = self.queue.pop_front().expect("checked front");
+                let _p = profiler::enter(profiler::Phase::PosMap);
                 let pm = self.protocol.posmap_resolve(req.addr).into();
                 self.current = Some(Work::Request { req, pm });
                 continue;
             }
             // Delayed write-backs fill remaining capacity.
             if let Some(addr) = self.wb_queue.pop_front() {
+                let _p = profiler::enter(profiler::Phase::PosMap);
                 let pm = self.protocol.posmap_resolve(addr).into();
                 self.current = Some(Work::DelayedWb { addr, pm });
                 continue;
@@ -531,7 +552,10 @@ impl TimedController {
                     self.dwb = Some(dwb);
                 }
                 if self.timing_protection {
-                    let path = self.protocol.dummy_path();
+                    let path = {
+                        let _p = profiler::enter(profiler::Phase::Stash);
+                        self.protocol.dummy_path()
+                    };
                     self.slot_stats.total_slots += 1;
                     self.slot_stats.dummy_slots += 1;
                     self.finish_path(t, path, None);
@@ -567,23 +591,24 @@ impl TimedController {
 
     /// Schedules the path's DRAM traffic and advances the slot clock.
     fn finish_path(&mut self, t: Cycle, path: PathRecord, completes: Option<ReqId>) {
-        let lines = self.layout_mem.path_slots(path.leaf.0, 0);
+        let _phase = profiler::enter(profiler::Phase::DramSchedule);
         let req_before = self.dram.stats().requests;
         // Transient bank stall: the batch reaches the memory controller
         // late; everything downstream (including the timing audit's floor)
         // sees the shifted completion.
         let stall = self.faults.as_mut().map_or(0, |p| p.bank_stall());
         let arrival = self.clock.fast_to_slow(t) + stall;
-        let reads: Vec<MemRequest> = lines
-            .iter()
-            .map(|&a| MemRequest::read(a, arrival))
-            .collect();
-        let read_done = self.dram.schedule_batch_done(&reads, arrival);
-        let writes: Vec<MemRequest> = lines
-            .iter()
-            .map(|&a| MemRequest::write(a, read_done))
-            .collect();
-        let write_done = self.dram.schedule_batch_done(&writes, read_done);
+        // Table fill into the reused buffer: the read batch, then the same
+        // addresses rewritten in place as the write-back batch.
+        self.path_table
+            .fill_reads(path.leaf.0, 0, arrival, &mut self.reqs_buf);
+        let lines = self.reqs_buf.len() as u64;
+        let read_done = self.dram.schedule_batch_done(&self.reqs_buf, arrival);
+        for r in &mut self.reqs_buf {
+            r.is_write = true;
+            r.arrival = read_done;
+        }
+        let write_done = self.dram.schedule_batch_done(&self.reqs_buf, read_done);
         // Re-fetch penalty: every corruption this path's read phase detected
         // and repaired stretches the read-phase completion — the public
         // occupancy floor — so recovery is a measured timing cost, not a
@@ -603,7 +628,7 @@ impl TimedController {
             let cached = self.protocol.config().treetop.cached_levels();
             audit.note_slot(t, self.t_interval, read_floor_cpu, self.timing_protection);
             audit.check_conservation(
-                lines.len() as u64,
+                lines,
                 self.protocol.layout().path_len_memory(cached),
                 self.dram.stats().requests - req_before,
                 self.dram.latency_underflows(),

@@ -17,12 +17,12 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use iroram_cache::MemoryHierarchy;
-use iroram_dram::{DramSystem, MemRequest, SubtreeLayout};
+use iroram_dram::{DramSystem, MemRequest, PathTable, SubtreeLayout};
 use iroram_protocol::{
     BlockAddr, IntegrityStats, OramConfig, PathOram, PathRecord, RemapPolicy, TreeTopMode,
     ZAllocation,
 };
-use iroram_sim_engine::{ClockRatio, Cycle, FaultPlan, InjectedFaults};
+use iroram_sim_engine::{profiler, ClockRatio, Cycle, FaultPlan, InjectedFaults};
 
 use crate::audit::{AuditReport, AuditState};
 use crate::{OramRequest, ReqId, SimError, SlotStats, StashPressure, SystemConfig};
@@ -66,9 +66,11 @@ pub struct RhoController {
     /// Small-tree protocol (immediate remapping, on-chip position map).
     pub small: PathOram,
     dram: DramSystem,
-    main_layout: SubtreeLayout,
-    small_layout: SubtreeLayout,
+    main_table: PathTable,
+    small_table: PathTable,
     small_offset: u64,
+    /// Reused path request buffer (reads rewritten in place into writes).
+    reqs_buf: Vec<MemRequest>,
     /// small slot → resident data address.
     slots: Vec<Option<u64>>,
     /// data address → small slot.
@@ -158,9 +160,10 @@ impl RhoController {
             main,
             small,
             dram: DramSystem::new(cfg.dram),
-            main_layout,
-            small_layout,
+            main_table: main_layout.path_table(0),
+            small_table: small_layout.path_table(0),
             small_offset,
+            reqs_buf: Vec::new(),
             slots: vec![None; n_slots],
             directory: BTreeMap::new(),
             last_use: vec![0; n_slots],
@@ -299,10 +302,16 @@ impl RhoController {
     pub fn submit(&mut self, req: OramRequest) {
         if let Some(&slot) = self.directory.get(&req.addr.0) {
             self.touch(slot);
-            let pm = self.small.posmap_resolve(BlockAddr(slot)).into();
+            let pm = {
+                let _p = profiler::enter(profiler::Phase::PosMap);
+                self.small.posmap_resolve(BlockAddr(slot)).into()
+            };
             self.small_queue.push_back(SmallWork::Hit { req, slot, pm });
         } else {
-            let pm: VecDeque<BlockAddr> = self.main.posmap_resolve(req.addr).into();
+            let pm: VecDeque<BlockAddr> = {
+                let _p = profiler::enter(profiler::Phase::PosMap);
+                self.main.posmap_resolve(req.addr).into()
+            };
             // Install only blocks with observed re-reference behaviour: a
             // miss whose address was missed before (within the filter
             // window) has mid-range reuse worth caching in the small tree;
@@ -334,11 +343,17 @@ impl RhoController {
             return;
         }
         if self.main.is_escrowed(addr) {
-            let pm = self.main.posmap_resolve(addr).into();
+            let pm = {
+                let _p = profiler::enter(profiler::Phase::PosMap);
+                self.main.posmap_resolve(addr).into()
+            };
             self.main_queue.push_back(MainWork::Wb { addr, pm });
         } else if dirty {
             // Still mapped in the main tree: a write access re-fetches it.
-            let pm = self.main.posmap_resolve(addr).into();
+            let pm = {
+                let _p = profiler::enter(profiler::Phase::PosMap);
+                self.main.posmap_resolve(addr).into()
+            };
             self.main_queue.push_back(MainWork::Request {
                 req: OramRequest {
                     id: u64::MAX,
@@ -459,10 +474,13 @@ impl RhoController {
             None => {
                 if self.timing_protection {
                     self.slot_stats.dummy_slots += 1;
-                    let (path, small) = if is_main {
-                        (self.main.dummy_path(), false)
-                    } else {
-                        (self.small.dummy_path(), true)
+                    let (path, small) = {
+                        let _p = profiler::enter(profiler::Phase::Stash);
+                        if is_main {
+                            (self.main.dummy_path(), false)
+                        } else {
+                            (self.small.dummy_path(), true)
+                        }
                     };
                     self.finish_path(t, path, small, None);
                 } else {
@@ -500,7 +518,10 @@ impl RhoController {
                     install,
                 }) => {
                     if let Some(pm_addr) = pm.pop_front() {
-                        let rec = self.main.fetch_posmap_block(pm_addr);
+                        let rec = {
+                            let _p = profiler::enter(profiler::Phase::PosMap);
+                            self.main.fetch_posmap_block(pm_addr)
+                        };
                         if let Some(audit) = &mut self.audit {
                             audit.oracle_read(pm_addr.0, rec.payload);
                         }
@@ -528,7 +549,10 @@ impl RhoController {
                     // traffic for data that will never be re-referenced,
                     // which is not what ρ's hierarchy does for streaming /
                     // pointer-chasing workloads.
-                    let rec = self.main.data_access(req.addr, None);
+                    let rec = {
+                        let _p = profiler::enter(profiler::Phase::Stash);
+                        self.main.data_access(req.addr, None)
+                    };
                     if let Some(audit) = &mut self.audit {
                         audit.oracle_read(req.addr.0, rec.payload);
                     }
@@ -553,7 +577,10 @@ impl RhoController {
                 }
                 Some(MainWork::Wb { addr, mut pm }) => {
                     if let Some(pm_addr) = pm.pop_front() {
-                        let rec = self.main.fetch_posmap_block(pm_addr);
+                        let rec = {
+                            let _p = profiler::enter(profiler::Phase::PosMap);
+                            self.main.fetch_posmap_block(pm_addr)
+                        };
                         if let Some(audit) = &mut self.audit {
                             audit.oracle_read(pm_addr.0, rec.payload);
                         }
@@ -572,7 +599,11 @@ impl RhoController {
             }
             if !self.storm_now && self.main.bg_evict_pending() {
                 self.slot_stats.bg_slots += 1;
-                return Some((self.main.bg_evict_once(), false, None));
+                let path = {
+                    let _p = profiler::enter(profiler::Phase::Stash);
+                    self.main.bg_evict_once()
+                };
+                return Some((path, false, None));
             }
             if let Some(work) = self.main_queue.pop_front() {
                 self.current_main = Some(work);
@@ -588,14 +619,20 @@ impl RhoController {
             match self.current_small.take() {
                 Some(SmallWork::Hit { req, slot, mut pm }) => {
                     if let Some(pm_addr) = pm.pop_front() {
-                        let rec = self.small.fetch_posmap_block(pm_addr);
+                        let rec = {
+                            let _p = profiler::enter(profiler::Phase::PosMap);
+                            self.small.fetch_posmap_block(pm_addr)
+                        };
                         self.current_small = Some(SmallWork::Hit { req, slot, pm });
                         if let Some(&p) = rec.paths.first() {
                             return Some((p, true, None));
                         }
                         continue;
                     }
-                    let rec = self.small.data_access(BlockAddr(slot), None);
+                    let rec = {
+                        let _p = profiler::enter(profiler::Phase::Stash);
+                        self.small.data_access(BlockAddr(slot), None)
+                    };
                     let completes = req.blocking.then_some(req.id);
                     match rec.paths.first() {
                         Some(&p) => return Some((p, true, completes)),
@@ -609,14 +646,20 @@ impl RhoController {
                 }
                 Some(SmallWork::Install { slot, mut pm }) => {
                     if let Some(pm_addr) = pm.pop_front() {
-                        let rec = self.small.fetch_posmap_block(pm_addr);
+                        let rec = {
+                            let _p = profiler::enter(profiler::Phase::PosMap);
+                            self.small.fetch_posmap_block(pm_addr)
+                        };
                         self.current_small = Some(SmallWork::Install { slot, pm });
                         if let Some(&p) = rec.paths.first() {
                             return Some((p, true, None));
                         }
                         continue;
                     }
-                    let rec = self.small.data_access(BlockAddr(slot), None);
+                    let rec = {
+                        let _p = profiler::enter(profiler::Phase::Stash);
+                        self.small.data_access(BlockAddr(slot), None)
+                    };
                     match rec.paths.first() {
                         Some(&p) => return Some((p, true, None)),
                         None => continue,
@@ -626,7 +669,11 @@ impl RhoController {
             }
             if !self.storm_now && self.small.bg_evict_pending() {
                 self.slot_stats.bg_slots += 1;
-                return Some((self.small.bg_evict_once(), true, None));
+                let path = {
+                    let _p = profiler::enter(profiler::Phase::Stash);
+                    self.small.bg_evict_once()
+                };
+                return Some((path, true, None));
             }
             if let Some(work) = self.small_queue.pop_front() {
                 self.current_small = Some(work);
@@ -650,7 +697,10 @@ impl RhoController {
                     .expect("occupied victim");
                 self.directory.remove(&old);
                 // The evicted block returns to the main tree.
-                let pm = self.main.posmap_resolve(BlockAddr(old)).into();
+                let pm = {
+                    let _p = profiler::enter(profiler::Phase::PosMap);
+                    self.main.posmap_resolve(BlockAddr(old)).into()
+                };
                 self.main_queue.push_back(MainWork::Wb {
                     addr: BlockAddr(old),
                     pm,
@@ -661,7 +711,10 @@ impl RhoController {
         self.slots[slot as usize] = Some(addr.0);
         self.directory.insert(addr.0, slot);
         self.touch(slot);
-        let pm = self.small.posmap_resolve(BlockAddr(slot)).into();
+        let pm = {
+            let _p = profiler::enter(profiler::Phase::PosMap);
+            self.small.posmap_resolve(BlockAddr(slot)).into()
+        };
         self.small_queue.push_back(SmallWork::Install { slot, pm });
     }
 
@@ -674,30 +727,26 @@ impl RhoController {
         small_tree: bool,
         completes: Option<ReqId>,
     ) {
-        let (layout, offset) = if small_tree {
-            (&self.small_layout, self.small_offset)
+        let _phase = profiler::enter(profiler::Phase::DramSchedule);
+        let (table, offset) = if small_tree {
+            (&self.small_table, self.small_offset)
         } else {
-            (&self.main_layout, 0)
+            (&self.main_table, 0)
         };
-        let lines: Vec<u64> = layout
-            .path_slots(path.leaf.0, 0)
-            .into_iter()
-            .map(|a| a + offset)
-            .collect();
         let req_before = self.dram.stats().requests;
         // Transient bank stall (see `TimedController::finish_path`).
         let stall = self.faults.as_mut().map_or(0, |p| p.bank_stall());
         let arrival = self.clock.fast_to_slow(t) + stall;
-        let reads: Vec<MemRequest> = lines
-            .iter()
-            .map(|&a| MemRequest::read(a, arrival))
-            .collect();
-        let read_done = self.dram.schedule_batch_done(&reads, arrival);
-        let writes: Vec<MemRequest> = lines
-            .iter()
-            .map(|&a| MemRequest::write(a, read_done))
-            .collect();
-        let write_done = self.dram.schedule_batch_done(&writes, read_done);
+        table.fill_reads(path.leaf.0, offset, arrival, &mut self.reqs_buf);
+        let lines = self.reqs_buf.len() as u64;
+        let read_done = self.dram.schedule_batch_done(&self.reqs_buf, arrival);
+        // Write-back touches the same lines: rewrite the batch in place
+        // rather than building a second request vector.
+        for r in &mut self.reqs_buf {
+            r.is_write = true;
+            r.arrival = read_done;
+        }
+        let write_done = self.dram.schedule_batch_done(&self.reqs_buf, read_done);
         // Re-fetch penalty for corruption detected by this path's read
         // phase (see `TimedController::finish_path`).
         let detected = self.integrity_stats().detected;
@@ -720,7 +769,7 @@ impl RhoController {
             };
             audit.note_slot(t, self.t_interval, read_floor_cpu, self.timing_protection);
             audit.check_conservation(
-                lines.len() as u64,
+                lines,
                 expected,
                 self.dram.stats().requests - req_before,
                 self.dram.latency_underflows(),

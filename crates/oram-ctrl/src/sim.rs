@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use iroram_cache::{AccessOutcome, HierarchyStats, MemoryHierarchy};
 use iroram_dram::DramStats;
 use iroram_protocol::{BlockAddr, IntegrityStats, ProtocolStats};
-use iroram_sim_engine::{Cycle, FaultPlan};
+use iroram_sim_engine::{profiler, Cycle, FaultPlan};
 use iroram_trace::{Bench, WorkloadGen};
 
 use crate::audit::AuditReport;
@@ -423,7 +423,10 @@ impl Simulation {
                             continue;
                         }
                         let addr = BlockAddr(rec.addr);
-                        let (outcome, evicted) = hierarchy.access_full(rec.addr, rec.is_write);
+                        let (outcome, evicted) = {
+                            let _p = profiler::enter(profiler::Phase::Llc);
+                            hierarchy.access_full(rec.addr, rec.is_write)
+                        };
                         let mut latency = match outcome {
                             AccessOutcome::L1Hit => cfg.l1_hit_lat,
                             AccessOutcome::LlcHit => cfg.llc_hit_lat,

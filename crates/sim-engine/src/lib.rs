@@ -33,6 +33,7 @@
 mod cycles;
 mod events;
 mod faults;
+pub mod profiler;
 mod rng;
 pub mod stats;
 

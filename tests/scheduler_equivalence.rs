@@ -1,0 +1,113 @@
+//! Differential guard for the zero-allocation FR-FCFS scheduler.
+//!
+//! The DRAM scheduler was rewritten from a per-batch allocate-and-remove
+//! loop into persistent per-channel scratch queues with an index-cursor
+//! scan. The original naive algorithm is kept, verbatim, behind the
+//! `reference-scheduler` feature, and a thread-local switch
+//! ([`iroram_dram::reference::force`]) routes the public scheduling API
+//! through it. These tests pin the rewrite to the reference:
+//!
+//! * every scheme's **full-system report** is byte-identical under either
+//!   scheduler (the end-to-end contract the figures depend on), and
+//! * random request batches produce identical completions, stats, and
+//!   underflow counts straight at the [`DramSystem`] API (the unit-level
+//!   contract, via proptest).
+//!
+//! Cells run with `jobs = 1`: the force switch is thread-local, so the
+//! reference runs must stay on the calling thread.
+
+use ir_oram::ALL_SCHEMES;
+use iroram_dram::{
+    reference, AddressMapping, DramConfig, DramSystem, Interleave, MemRequest,
+};
+use iroram_experiments::runner::{run_scheme, ExpOptions};
+use iroram_sim_engine::Cycle;
+use iroram_trace::Bench;
+use proptest::prelude::*;
+
+const BENCHES: [Bench; 2] = [Bench::Mcf, Bench::Gcc];
+
+fn tiny_opts() -> ExpOptions {
+    let mut o = ExpOptions::quick();
+    o.mem_ops = 1_500;
+    o.timed_levels = 10;
+    o.jobs = 1; // the reference switch is thread-local
+    o
+}
+
+#[test]
+fn every_scheme_reports_identically_under_the_reference_scheduler() {
+    let opts = tiny_opts();
+    for scheme in ALL_SCHEMES {
+        let fast = run_scheme(&opts, scheme, &BENCHES);
+        reference::force(true);
+        let naive = run_scheme(&opts, scheme, &BENCHES);
+        reference::force(false);
+        // SimReport intentionally has no PartialEq; the Debug form covers
+        // every field of every nested stats struct.
+        assert_eq!(
+            format!("{fast:?}"),
+            format!("{naive:?}"),
+            "scheme {} diverged from the reference scheduler",
+            scheme.name()
+        );
+    }
+}
+
+/// splitmix64 — expands one proptest-drawn seed into a whole batch stream
+/// (the vendored proptest shim only draws scalars).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A batch whose length, addresses, kinds, and arrivals come from `seed`.
+fn random_batch(seed: &mut u64) -> Vec<MemRequest> {
+    let n = (splitmix(seed) % 96) as usize;
+    (0..n)
+        .map(|_| {
+            let addr = splitmix(seed) % 50_000;
+            let arrival = Cycle(splitmix(seed) % 400);
+            if splitmix(seed) & 1 == 1 {
+                MemRequest::write(addr, arrival)
+            } else {
+                MemRequest::read(addr, arrival)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_batches_match_the_reference_scheduler(
+        cfg_pick in 0usize..12,
+        window in 1usize..24,
+        n_batches in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let channels = [1u32, 2, 4][cfg_pick % 3];
+        let banks = [2u32, 8][(cfg_pick / 3) % 2];
+        let interleave = [Interleave::CacheLine, Interleave::Row][cfg_pick / 6];
+        let cfg = DramConfig {
+            mapping: AddressMapping::new(channels, banks, 128, interleave),
+            reorder_window: window,
+            ..DramConfig::default()
+        };
+        let mut fast = DramSystem::new(cfg);
+        let mut naive = DramSystem::new(cfg);
+        let mut stream = seed;
+        for _ in 0..n_batches {
+            let batch = random_batch(&mut stream);
+            let a = fast.schedule_batch(&batch);
+            let b = naive.schedule_batch_reference(&batch);
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(fast.stats(), naive.stats());
+        prop_assert_eq!(fast.latency_underflows(), naive.latency_underflows());
+    }
+}
