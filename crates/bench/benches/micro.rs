@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use iroram_cache::{CacheConfig, HierarchyConfig, MemoryHierarchy, SetAssocCache};
 use iroram_dram::{AddressMapping, DramConfig, DramSystem, Interleave, MemRequest, SubtreeLayout};
 use iroram_hash::{md5_u64, mix64, FeistelCipher};
-use iroram_protocol::{Leaf, Stash, StoredBlock, TreeLayout, WritebackPlan, ZAllocation};
+use iroram_protocol::{Leaf, OramTree, Stash, StoredBlock, TreeLayout, WritebackPlan, ZAllocation};
 use iroram_sim_engine::{Cycle, SimRng};
 
 fn bench_hash(c: &mut Criterion) {
@@ -90,6 +90,87 @@ fn bench_schedule_batch(c: &mut Criterion) {
                 b.iter(|| std::hint::black_box(dram.schedule_batch(&batch)))
             });
         }
+    }
+    // Intra-batch channel parallelism: the same 4-channel batch scheduled
+    // with 1, 2, and 4 workers. The core clamp is disabled so each variant
+    // measures the dispatch it names, even on a small host (on a 1-core box
+    // t2/t4 show pure scoped-thread overhead — that is the point of the
+    // comparison, and why `PARALLEL_MIN_BATCH` and the clamp exist).
+    for threads in [1u32, 2, 4] {
+        let n = 256usize;
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(&format!("t{threads}_ch4_n{n}"), |b| {
+            let mut dram = DramSystem::new(DramConfig::default());
+            dram.set_sched_threads(threads);
+            dram.set_ignore_core_clamp(true);
+            let batch = shuffled_batch(n);
+            b.iter(|| std::hint::black_box(dram.schedule_batch(&batch)))
+        });
+    }
+    g.finish();
+}
+
+/// The read-phase integrity kernel: per-bucket FNV folds of one path,
+/// bucket-at-a-time (the pre-batching call shape from the controllers)
+/// vs the arena-sequential whole-path kernel the read phase runs now.
+fn bench_checksum_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum_path");
+    for levels in [12usize, 16, 20] {
+        let layout = TreeLayout::new(ZAllocation::uniform(levels, 4));
+        let tree = OramTree::new(layout.clone());
+        let leaves = 1u64 << (levels - 1);
+        g.throughput(Throughput::Elements(levels as u64));
+        g.bench_function(&format!("bucket_at_a_time_L{levels}"), |b| {
+            let mut leaf = 0u64;
+            let mut out: Vec<u64> = Vec::with_capacity(levels);
+            b.iter(|| {
+                leaf = (leaf + 12_345) % leaves;
+                out.clear();
+                for level in 0..levels {
+                    let bucket = layout.bucket_on_path(Leaf(leaf), level);
+                    out.push(tree.bucket_sum(level, bucket));
+                }
+                std::hint::black_box(out.len())
+            })
+        });
+        g.bench_function(&format!("batched_L{levels}"), |b| {
+            let mut leaf = 0u64;
+            let mut out: Vec<u64> = Vec::with_capacity(levels);
+            b.iter(|| {
+                leaf = (leaf + 12_345) % leaves;
+                out.clear();
+                tree.path_sums_into(Leaf(leaf), 0, &mut out);
+                std::hint::black_box(out.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The payload permutation over one path's worth of blocks (`Z = 4` slots
+/// per bucket): element-at-a-time `encrypt` calls vs the slice kernel.
+fn bench_feistel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("feistel");
+    for levels in [12usize, 16, 20] {
+        let n = 4 * levels;
+        let cipher = FeistelCipher::new(42);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(&format!("scalar_L{levels}"), |b| {
+            let mut buf: Vec<u64> = (0..n as u64).collect();
+            b.iter(|| {
+                for v in buf.iter_mut() {
+                    *v = cipher.encrypt(*v);
+                }
+                std::hint::black_box(buf[0])
+            })
+        });
+        g.bench_function(&format!("batch_L{levels}"), |b| {
+            let mut buf: Vec<u64> = (0..n as u64).collect();
+            b.iter(|| {
+                cipher.encrypt_slice(&mut buf);
+                std::hint::black_box(buf[0])
+            })
+        });
     }
     g.finish();
 }
@@ -201,6 +282,6 @@ fn bench_stash(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_hash, bench_dram, bench_schedule_batch, bench_path_requests, bench_cache, bench_stash
+    targets = bench_hash, bench_dram, bench_schedule_batch, bench_checksum_path, bench_feistel, bench_path_requests, bench_cache, bench_stash
 }
 criterion_main!(micro);

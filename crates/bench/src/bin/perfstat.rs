@@ -15,9 +15,45 @@
 use std::time::Instant;
 
 use ir_oram::ALL_SCHEMES;
+use iroram_experiments::journal::fingerprint;
 use iroram_experiments::runner::{perf_benches, run_scheme};
 use iroram_experiments::ExpOptions;
 use iroram_sim_engine::profiler;
+
+/// How much slower than the last recorded run of the same scale/jobs a
+/// `--quick` run may be before the ratchet fails the step (CI perf gate).
+const RATCHET_TOLERANCE: f64 = 0.10;
+
+/// Short commit hash of the working tree, or `"unknown"` outside a checkout.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Pulls a numeric field out of one hand-rolled history line. The writer
+/// below is the only producer, so a plain scan beats a JSON dependency.
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = line[line.find(&pat)? + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Pulls a string field out of one hand-rolled history line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    Some(&rest[..rest.find('"')?])
+}
 
 struct SchemeStat {
     scheme: &'static str,
@@ -151,15 +187,47 @@ fn main() {
 
     // Append-only run history, so throughput regressions have a trail to
     // diff against (the snapshot file above only holds the latest run).
+    // Each entry carries a `note` with the commit and a fingerprint folded
+    // over every (scheme, bench) cell config, so a rate change is
+    // attributable: same fingerprint = same simulated workload, so the
+    // delta is the simulator; different fingerprint = the workload moved.
     let hist_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_history.jsonl");
+    let scale = scale_name(&opts);
+
+    // Ratchet baseline: the most recent prior entry at the same scale and
+    // job count (other shapes are not rate-comparable).
+    let prior_rate = std::fs::read_to_string(hist_path)
+        .ok()
+        .and_then(|hist| {
+            hist.lines().rev().find_map(|l| {
+                if field_str(l, "scale") != Some(scale) {
+                    return None;
+                }
+                if field_f64(l, "jobs") != Some(jobs as f64) {
+                    return None;
+                }
+                field_f64(l, "total_mem_ops_per_sec")
+            })
+        });
+
+    let limit = opts.limit();
+    let mut cfg_fp = 0u64;
+    for scheme in ALL_SCHEMES {
+        for &bench in &benches {
+            cfg_fp = cfg_fp
+                .rotate_left(9)
+                .wrapping_add(fingerprint(&opts.system(scheme), bench, limit));
+        }
+    }
     let epoch_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let line = format!(
-        "{{\"epoch_secs\": {epoch_secs}, \"scale\": \"{}\", \"jobs\": {jobs}, \
+        "{{\"epoch_secs\": {epoch_secs}, \"scale\": \"{scale}\", \"jobs\": {jobs}, \
          \"total_mem_ops\": {total_ops}, \"total_wall_seconds\": {total_wall:.6}, \
-         \"total_mem_ops_per_sec\": {total_rate:.1}}}\n",
-        scale_name(&opts)
+         \"total_mem_ops_per_sec\": {total_rate:.1}, \
+         \"note\": \"commit {}, cfg-fp {cfg_fp:016x}\"}}\n",
+        git_commit()
     );
     use std::io::Write as _;
     let appended = std::fs::OpenOptions::new()
@@ -170,5 +238,29 @@ fn main() {
     match appended {
         Ok(()) => println!("appended run to {hist_path}"),
         Err(e) => eprintln!("warning: could not append {hist_path}: {e}"),
+    }
+
+    // CI perf ratchet: a quick run that lands more than RATCHET_TOLERANCE
+    // below the previous recorded quick run fails the step. Only --quick is
+    // gated — it is the scale the perf-smoke step runs.
+    if scale == "quick" {
+        if let Some(prev) = prior_rate {
+            let floor = prev * (1.0 - RATCHET_TOLERANCE);
+            if total_rate < floor {
+                eprintln!(
+                    "perf ratchet: FAIL — {total_rate:.0} ops/s is more than \
+                     {:.0}% below the previous recorded run ({prev:.0} ops/s, \
+                     floor {floor:.0})",
+                    RATCHET_TOLERANCE * 100.0
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "perf ratchet: ok — {total_rate:.0} ops/s vs previous {prev:.0} \
+                 (floor {floor:.0})"
+            );
+        } else {
+            println!("perf ratchet: no prior {scale}/jobs={jobs} entry to compare against");
+        }
     }
 }

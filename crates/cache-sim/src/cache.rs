@@ -159,7 +159,15 @@ impl SetAssocCache {
             IndexKind::LowBits => addr,
             IndexKind::Hashed => mix64(addr),
         };
-        (h % self.cfg.sets as u64) as usize
+        let sets = self.cfg.sets as u64;
+        // Set counts are runtime values, so spell out the shift/mask form
+        // for the (universal in practice) power-of-two geometries — this
+        // sits on the per-access hot path of every cache level.
+        if sets.is_power_of_two() {
+            (h & (sets - 1)) as usize
+        } else {
+            (h % sets) as usize
+        }
     }
 
     /// Number of sets.

@@ -86,36 +86,42 @@ impl AddressMapping {
 
     /// Decodes a line address.
     pub fn decode(&self, line_addr: u64) -> DecodedAddr {
+        // The dimensions are runtime values, so without help the compiler
+        // emits real 64-bit divisions here — and the scheduler decodes
+        // every request of every batch. All stock geometries are powers of
+        // two, so strength-reduce to shift/mask when possible.
+        #[inline(always)]
+        fn divmod(v: u64, d: u64) -> (u64, u64) {
+            if d.is_power_of_two() {
+                (v >> d.trailing_zeros(), v & (d - 1))
+            } else {
+                (v / d, v % d)
+            }
+        }
         let ch_u64 = self.channels as u64;
         let lpr = self.lines_per_row as u64;
         let banks = self.banks as u64;
         match self.interleave {
             Interleave::CacheLine => {
-                let channel = (line_addr % ch_u64) as u32;
-                let within = line_addr / ch_u64;
-                let col = (within % lpr) as u32;
-                let row_seq = within / lpr;
-                let bank = (row_seq % banks) as u32;
-                let row = row_seq / banks;
+                let (within, channel) = divmod(line_addr, ch_u64);
+                let (row_seq, col) = divmod(within, lpr);
+                let (row, bank) = divmod(row_seq, banks);
                 DecodedAddr {
-                    channel,
-                    bank,
+                    channel: channel as u32,
+                    bank: bank as u32,
                     row,
-                    col,
+                    col: col as u32,
                 }
             }
             Interleave::Row => {
-                let col = (line_addr % lpr) as u32;
-                let row_seq = line_addr / lpr;
-                let channel = (row_seq % ch_u64) as u32;
-                let rest = row_seq / ch_u64;
-                let bank = (rest % banks) as u32;
-                let row = rest / banks;
+                let (row_seq, col) = divmod(line_addr, lpr);
+                let (rest, channel) = divmod(row_seq, ch_u64);
+                let (row, bank) = divmod(rest, banks);
                 DecodedAddr {
-                    channel,
-                    bank,
+                    channel: channel as u32,
+                    bank: bank as u32,
                     row,
-                    col,
+                    col: col as u32,
                 }
             }
         }

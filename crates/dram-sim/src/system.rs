@@ -119,6 +119,22 @@ impl DramStats {
             self.bus_busy_cycles as f64 / (self.last_completion as f64 * channels as f64)
         }
     }
+
+    /// Folds another stats record into this one (counter sums plus the
+    /// `last_completion` max). Every field is commutative, so absorbing
+    /// per-channel deltas in channel order equals the old per-request
+    /// interleaved accumulation bit for bit.
+    fn absorb(&mut self, d: &DramStats) {
+        self.row_hits += d.row_hits;
+        self.row_empties += d.row_empties;
+        self.row_conflicts += d.row_conflicts;
+        self.requests += d.requests;
+        self.reads += d.reads;
+        self.writes += d.writes;
+        self.total_latency += d.total_latency;
+        self.bus_busy_cycles += d.bus_busy_cycles;
+        self.last_completion = self.last_completion.max(d.last_completion);
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -176,6 +192,25 @@ pub struct DramSystem {
     /// Direct-placement completion buffer: slot `i` receives request `i`'s
     /// completion as it is scheduled, so no final sort is needed.
     out: Vec<Completion>,
+    /// Worker count for intra-batch channel-parallel scheduling (1 =
+    /// always serial). Channels are independent by construction, so any
+    /// value yields byte-identical completions and stats; the threshold
+    /// [`DramSystem::PARALLEL_MIN_BATCH`] keeps small batches serial.
+    sched_threads: u32,
+    /// Per-channel completion scratch for the parallel path: each worker
+    /// emits into its own channel's buffer, and the deterministic merge
+    /// scatters them into `out` in fixed channel order.
+    pouts: Vec<Vec<Completion>>,
+    /// Test hook: skip the host-core clamp on `sched_threads` so the
+    /// parallel machinery is exercised even on single-core hosts.
+    ignore_core_clamp: bool,
+}
+
+/// The host's core count, probed once: workers are pure CPU-bound, so
+/// spawning more of them than cores only adds scoped-thread overhead.
+fn host_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 impl DramSystem {
@@ -189,6 +224,7 @@ impl DramSystem {
             })
             .collect();
         let queues = vec![Vec::new(); channels.len()];
+        let pouts = vec![Vec::new(); channels.len()];
         DramSystem {
             cfg,
             channels,
@@ -196,7 +232,39 @@ impl DramSystem {
             latency_underflows: 0,
             queues,
             out: Vec::new(),
+            sched_threads: 1,
+            pouts,
+            ignore_core_clamp: false,
         }
+    }
+
+    /// Batches smaller than this always schedule serially, whatever
+    /// `sched_threads` says: a per-path ORAM batch (tens of requests) is
+    /// far too small to amortize spawning scoped workers, so the threshold
+    /// keeps the default simulation loop on the zero-overhead serial path
+    /// while large batches (benches, bulk replays) fan out.
+    pub const PARALLEL_MIN_BATCH: usize = 64;
+
+    /// Sets the worker count for intra-batch channel-parallel scheduling.
+    /// `0` and `1` both mean serial. Scheduling output is byte-identical
+    /// for every value: channels never share state, and the merge reads
+    /// them back in fixed channel order.
+    pub fn set_sched_threads(&mut self, n: u32) {
+        self.sched_threads = n.max(1);
+    }
+
+    /// Current intra-batch scheduling worker count (as configured; the
+    /// batch dispatch additionally clamps to the host's core count).
+    pub fn sched_threads(&self) -> u32 {
+        self.sched_threads
+    }
+
+    /// Disables the host-core clamp on the worker count. Testing hook:
+    /// correctness tests use this to force the parallel dispatch + merge
+    /// path on hosts with fewer cores than `sched_threads`.
+    #[doc(hidden)]
+    pub fn set_ignore_core_clamp(&mut self, on: bool) {
+        self.ignore_core_clamp = on;
     }
 
     /// The configuration this system was built with.
@@ -259,6 +327,13 @@ impl DramSystem {
     fn run_batch(&mut self, requests: &[MemRequest]) -> Cycle {
         let t = self.cfg.timings;
         let window = self.cfg.reorder_window.max(1);
+        // Clamp to the host: on a box with fewer cores than the configured
+        // worker count, extra scoped threads cost spawn overhead and win
+        // nothing. The clamp never changes results — only who computes them.
+        let mut threads = (self.sched_threads as usize).max(1);
+        if !self.ignore_core_clamp {
+            threads = threads.min(host_cores());
+        }
         let DramSystem {
             cfg,
             channels,
@@ -266,6 +341,8 @@ impl DramSystem {
             latency_underflows,
             queues,
             out,
+            pouts,
+            ..
         } = self;
         // Partition into the per-channel scratch queues, decoding once.
         for q in queues.iter_mut() {
@@ -291,116 +368,65 @@ impl DramSystem {
         };
         out.resize(requests.len(), placeholder);
         let mut latest = Cycle::ZERO;
-        for (ch, queue) in channels.iter_mut().zip(queues.iter_mut()) {
-            // `head` is the oldest unserved entry; everything before it is
-            // served. Picks are always within `window` unserved entries of
-            // `head`, so the skip loops below touch at most a window's worth
-            // of served holes.
-            let mut head = 0usize;
-            let mut remaining = queue.len();
-            while remaining > 0 {
-                // lint: allow(panic, head < queue.len(): `remaining` unserved entries all sit at or after head)
-                while queue[head].served {
-                    head += 1;
-                }
-                // FR-FCFS: among the window of oldest requests, pick the
-                // first row hit; otherwise the oldest. A hit may only be
-                // hoisted over the oldest request if it has arrived by the
-                // time the channel could start serving that oldest request —
-                // otherwise the channel would idle-wait on a future arrival
-                // while an already-arrived request sits queued (priority
-                // inversion that the latency-underflow audit flagged).
-                // lint: allow(panic, head was just positioned on an unserved entry)
-                let hoist_gate = queue[head].arrival.max(ch.bus_free);
-                let limit = window.min(remaining);
-                let mut pick = head;
-                let mut seen = 0usize;
-                let mut j = head;
-                loop {
-                    // lint: allow(panic, at most `remaining` unserved entries lie at or after j, so j stays in bounds until `limit` are seen)
-                    let e = queue[j];
-                    if !e.served {
-                        // lint: allow(panic, decode returns bank < cfg.mapping.banks() == ch.banks.len() by construction)
-                        if e.arrival <= hoist_gate && ch.banks[e.bank as usize].would_hit(e.row) {
-                            pick = j;
-                            break;
+        let parallel =
+            threads > 1 && channels.len() > 1 && requests.len() >= Self::PARALLEL_MIN_BATCH;
+        if parallel {
+            // Fan the channels out across scoped workers (the same
+            // scoped-thread worker-loop shape as the experiment runner's
+            // `par_map`). Each worker owns a disjoint contiguous chunk of
+            // (channel, queue, scratch, delta) rows, so no simulated state
+            // is ever shared; the merge below reads the per-channel
+            // results back in fixed channel order, making the output
+            // independent of thread count and interleaving.
+            for p in pouts.iter_mut() {
+                p.clear();
+            }
+            let mut deltas = vec![ChannelDelta::new(); channels.len()];
+            let mut work: Vec<(
+                &mut Channel,
+                &mut Vec<DecodedRequest>,
+                &mut Vec<Completion>,
+                &mut ChannelDelta,
+            )> = channels
+                .iter_mut()
+                .zip(queues.iter_mut())
+                .zip(pouts.iter_mut())
+                .zip(deltas.iter_mut())
+                .map(|(((ch, q), p), d)| (ch, q, p, d))
+                .collect();
+            let chunk = work.len().div_ceil(threads.min(work.len()));
+            // lint: allow(determinism, scoped workers compute independent per-channel results; the serial merge below is in fixed channel order, so scheduling output never depends on thread timing)
+            std::thread::scope(|s| {
+                for slice in work.chunks_mut(chunk) {
+                    s.spawn(move || {
+                        for (ch, queue, pout, delta) in slice.iter_mut() {
+                            **delta = scan_channel(&t, window, ch, queue, &mut |c| pout.push(c));
                         }
-                        seen += 1;
-                        if seen == limit {
-                            break;
-                        }
-                    }
-                    j += 1;
+                    });
                 }
-                // lint: allow(panic, pick indexes an unserved entry found by the scan above)
-                let e = &mut queue[pick];
-                e.served = true;
-                remaining -= 1;
-                let e = *e;
-                if pick == head {
-                    head += 1;
+            });
+            // Deterministic merge: channel order, then emission order
+            // within a channel — exactly the serial loop's order.
+            for (pout, delta) in pouts.iter().zip(deltas.iter()) {
+                for c in pout {
+                    // lint: allow(panic, completion index < requests.len() == out.len() by construction)
+                    out[c.index] = *c;
                 }
-                // lint: allow(panic, decode returns bank < cfg.mapping.banks() == ch.banks.len() by construction)
-                let acc = ch.banks[e.bank as usize].access(e.row, e.is_write, e.arrival, &t);
-                // Data transfer: CAS + CL (or CWL) to first beat, bus holds
-                // for t_burst; serialize on the channel data bus.
-                let lat = if e.is_write { t.cwl } else { t.cl };
-                // Channel-level read↔write turnaround: switching the data
-                // bus direction costs bus idle time (write-to-read pays
-                // tWTR; read-to-write pays the CL/CWL offset plus a bubble).
-                let turnaround = match ch.last_was_write {
-                    Some(last) if last != e.is_write => {
-                        if last {
-                            t.t_wtr + 2
-                        } else {
-                            (t.cl - t.cwl) + 2
-                        }
-                    }
-                    _ => 0,
-                };
-                let data_start = (acc.cas_issue + lat).max(ch.bus_free + turnaround);
-                let completion = data_start + t.t_burst;
-                ch.bus_free = completion;
-                ch.last_was_write = Some(e.is_write);
-                // Account.
-                stats.requests += 1;
-                if e.is_write {
-                    stats.writes += 1;
-                } else {
-                    stats.reads += 1;
-                }
-                if acc.row_hit {
-                    stats.row_hits += 1;
-                } else if acc.row_empty {
-                    stats.row_empties += 1;
-                } else {
-                    stats.row_conflicts += 1;
-                }
-                match completion.raw().checked_sub(e.arrival.raw()) {
-                    Some(lat) => stats.total_latency += lat,
-                    None => {
-                        // Completion before arrival means the scheduler
-                        // violated causality; record it for the audit
-                        // instead of silently clamping to zero latency.
-                        *latency_underflows += 1;
-                        debug_assert!(
-                            false,
-                            "DRAM completion {completion} precedes arrival {}",
-                            e.arrival
-                        );
-                    }
-                }
-                stats.bus_busy_cycles += t.t_burst;
-                stats.last_completion = stats.last_completion.max(completion.raw());
-                latest = latest.max(completion);
-                // Direct placement: request i's completion goes to slot i,
-                // so the batch needs no final sort.
-                // lint: allow(panic, orig_idx < requests.len() == out.len() by construction)
-                out[e.orig_idx as usize] = Completion {
-                    index: e.orig_idx as usize,
-                    completion,
-                    row_hit: acc.row_hit,
-                };
+                stats.absorb(&delta.stats);
+                *latency_underflows += delta.underflows;
+                latest = latest.max(delta.latest);
+            }
+        } else {
+            for (ch, queue) in channels.iter_mut().zip(queues.iter_mut()) {
+                let delta = scan_channel(&t, window, ch, queue, &mut |c| {
+                    // Direct placement: request i's completion goes to slot
+                    // i, so the batch needs no final sort.
+                    // lint: allow(panic, completion index < requests.len() == out.len() by construction)
+                    out[c.index] = c;
+                });
+                stats.absorb(&delta.stats);
+                *latency_underflows += delta.underflows;
+                latest = latest.max(delta.latest);
             }
         }
         latest
@@ -416,6 +442,150 @@ impl DramSystem {
             }
         }
     }
+}
+
+/// What one channel's FR-FCFS scan produced, accumulated locally so the
+/// scan can run off-thread and be folded into the system totals afterwards.
+#[derive(Debug, Clone, Copy)]
+struct ChannelDelta {
+    stats: DramStats,
+    underflows: u64,
+    latest: Cycle,
+}
+
+impl ChannelDelta {
+    fn new() -> Self {
+        ChannelDelta {
+            stats: DramStats::default(),
+            underflows: 0,
+            latest: Cycle::ZERO,
+        }
+    }
+}
+
+/// The FR-FCFS scan for one channel: serves every entry in `queue`,
+/// emitting one [`Completion`] per request (in service order) and returning
+/// the channel's stats delta. This is the single scheduling core shared by
+/// the serial and channel-parallel paths of [`DramSystem::run_batch`]; it
+/// touches only its own channel's banks/bus, which is what makes the
+/// parallel fan-out trivially deterministic.
+fn scan_channel(
+    t: &DramTimings,
+    window: usize,
+    ch: &mut Channel,
+    queue: &mut [DecodedRequest],
+    emit: &mut impl FnMut(Completion),
+) -> ChannelDelta {
+    let mut delta = ChannelDelta::new();
+    // `head` is the oldest unserved entry; everything before it is
+    // served. Picks are always within `window` unserved entries of
+    // `head`, so the skip loops below touch at most a window's worth
+    // of served holes.
+    let mut head = 0usize;
+    let mut remaining = queue.len();
+    while remaining > 0 {
+        // lint: allow(panic, head < queue.len(): `remaining` unserved entries all sit at or after head)
+        while queue[head].served {
+            head += 1;
+        }
+        // FR-FCFS: among the window of oldest requests, pick the
+        // first row hit; otherwise the oldest. A hit may only be
+        // hoisted over the oldest request if it has arrived by the
+        // time the channel could start serving that oldest request —
+        // otherwise the channel would idle-wait on a future arrival
+        // while an already-arrived request sits queued (priority
+        // inversion that the latency-underflow audit flagged).
+        // lint: allow(panic, head was just positioned on an unserved entry)
+        let hoist_gate = queue[head].arrival.max(ch.bus_free);
+        let limit = window.min(remaining);
+        let mut pick = head;
+        let mut seen = 0usize;
+        // Probe by reference off a subslice: the window scan is the hottest
+        // loop in the scheduler, and iterating dodges both the per-probe
+        // bounds check and a full `DecodedRequest` copy per probe.
+        // lint: allow(panic, head < queue.len(): positioned on an unserved entry above)
+        for (off, e) in queue[head..].iter().enumerate() {
+            if e.served {
+                continue;
+            }
+            // lint: allow(panic, decode returns bank < cfg.mapping.banks() == ch.banks.len() by construction)
+            if e.arrival <= hoist_gate && ch.banks[e.bank as usize].would_hit(e.row) {
+                pick = head + off;
+                break;
+            }
+            seen += 1;
+            if seen == limit {
+                break;
+            }
+        }
+        // lint: allow(panic, pick indexes an unserved entry found by the scan above)
+        let e = &mut queue[pick];
+        e.served = true;
+        remaining -= 1;
+        let e = *e;
+        if pick == head {
+            head += 1;
+        }
+        // lint: allow(panic, decode returns bank < cfg.mapping.banks() == ch.banks.len() by construction)
+        let acc = ch.banks[e.bank as usize].access(e.row, e.is_write, e.arrival, t);
+        // Data transfer: CAS + CL (or CWL) to first beat, bus holds
+        // for t_burst; serialize on the channel data bus.
+        let lat = if e.is_write { t.cwl } else { t.cl };
+        // Channel-level read↔write turnaround: switching the data
+        // bus direction costs bus idle time (write-to-read pays
+        // tWTR; read-to-write pays the CL/CWL offset plus a bubble).
+        let turnaround = match ch.last_was_write {
+            Some(last) if last != e.is_write => {
+                if last {
+                    t.t_wtr + 2
+                } else {
+                    (t.cl - t.cwl) + 2
+                }
+            }
+            _ => 0,
+        };
+        let data_start = (acc.cas_issue + lat).max(ch.bus_free + turnaround);
+        let completion = data_start + t.t_burst;
+        ch.bus_free = completion;
+        ch.last_was_write = Some(e.is_write);
+        // Account.
+        delta.stats.requests += 1;
+        if e.is_write {
+            delta.stats.writes += 1;
+        } else {
+            delta.stats.reads += 1;
+        }
+        if acc.row_hit {
+            delta.stats.row_hits += 1;
+        } else if acc.row_empty {
+            delta.stats.row_empties += 1;
+        } else {
+            delta.stats.row_conflicts += 1;
+        }
+        match completion.raw().checked_sub(e.arrival.raw()) {
+            Some(lat) => delta.stats.total_latency += lat,
+            None => {
+                // Completion before arrival means the scheduler
+                // violated causality; record it for the audit
+                // instead of silently clamping to zero latency.
+                delta.underflows += 1;
+                debug_assert!(
+                    false,
+                    "DRAM completion {completion} precedes arrival {}",
+                    e.arrival
+                );
+            }
+        }
+        delta.stats.bus_busy_cycles += t.t_burst;
+        delta.stats.last_completion = delta.stats.last_completion.max(completion.raw());
+        delta.latest = delta.latest.max(completion);
+        emit(Completion {
+            index: e.orig_idx as usize,
+            completion,
+            row_hit: acc.row_hit,
+        });
+    }
+    delta
 }
 
 /// The scheduler's only call into [`AddressMapping::decode`] — a wrapper so
@@ -820,6 +990,55 @@ mod tests {
         let mut d = sys();
         assert_eq!(forced, c.schedule_batch(&reqs));
         assert_eq!(forced_done, d.schedule_batch_done(&reqs, Cycle(3)));
+    }
+
+    #[test]
+    fn parallel_scheduling_matches_serial_and_reference() {
+        // Large batches cross PARALLEL_MIN_BATCH and fan out across scoped
+        // workers; every thread count must produce the serial (and
+        // reference) schedule bit for bit, batch after batch.
+        for threads in [2u32, 3, 4, 8] {
+            let mut par = sys();
+            par.set_sched_threads(threads);
+            // Exercise the real parallel dispatch even on single-core CI.
+            par.set_ignore_core_clamp(true);
+            let mut ser = sys();
+            let mut naive = sys();
+            for batch in 0..4u64 {
+                let n = DramSystem::PARALLEL_MIN_BATCH as u64 * 4 + batch * 11;
+                let reqs = shuffled_batch(n);
+                let a = par.schedule_batch(&reqs);
+                let b = ser.schedule_batch(&reqs);
+                let c = naive.schedule_batch_reference(&reqs);
+                assert_eq!(a, b, "threads {threads} batch {batch}");
+                assert_eq!(b, c, "threads {threads} batch {batch} vs reference");
+                assert_eq!(par.stats(), ser.stats());
+                assert_eq!(par.latency_underflows(), ser.latency_underflows());
+            }
+        }
+    }
+
+    #[test]
+    fn small_batches_stay_serial_and_identical_under_sched_threads() {
+        // Below the threshold the parallel path must not engage (no
+        // observable difference, and the same completions either way).
+        let mut par = sys();
+        par.set_sched_threads(4);
+        let mut ser = sys();
+        for batch in 0..6u64 {
+            let reqs = shuffled_batch(DramSystem::PARALLEL_MIN_BATCH as u64 - 1 - batch);
+            assert_eq!(par.schedule_batch(&reqs), ser.schedule_batch(&reqs));
+        }
+        assert_eq!(par.stats(), ser.stats());
+    }
+
+    #[test]
+    fn sched_threads_zero_means_serial() {
+        let mut d = sys();
+        d.set_sched_threads(0);
+        assert_eq!(d.sched_threads(), 1);
+        let done = d.schedule_batch(&shuffled_batch(300));
+        assert_eq!(done.len(), 300);
     }
 
     #[test]

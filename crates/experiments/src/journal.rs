@@ -58,6 +58,7 @@ pub fn fingerprint(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> u64 {
         faults,
         refetch_lat,
         stash_hard_limit,
+        sched_threads,
     } = cfg;
     let key = format!(
         "scheme={scheme:?}|oram={oram:?}|hierarchy={hierarchy:?}|dram={dram:?}\
@@ -67,7 +68,8 @@ pub fn fingerprint(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> u64 {
          |front_hit_lat={front_hit_lat}|decrypt_lat={decrypt_lat}\
          |subtree_group={subtree_group}|seed={seed}|audit={audit}\
          |faults={faults:?}|refetch_lat={refetch_lat}\
-         |stash_hard_limit={stash_hard_limit}|{bench:?}|{}",
+         |stash_hard_limit={stash_hard_limit}|sched_threads={sched_threads}\
+         |{bench:?}|{}",
         limit.mem_ops
     );
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;

@@ -17,6 +17,15 @@ use crate::source::SourceFile;
 use crate::Finding;
 
 /// Counts panic-capable sites per category for one file.
+/// Rust keywords that can directly precede `[` in real code (type syntax,
+/// array literals after control flow) without forming an index expression.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "mut" | "dyn" | "in" | "as" | "return" | "break" | "else" | "match" | "if" | "while"
+    )
+}
+
 pub fn count(file: &SourceFile) -> BTreeMap<String, u64> {
     let mut counts: BTreeMap<String, u64> = crate::ratchet::CATEGORIES
         .iter()
@@ -39,9 +48,12 @@ pub fn count(file: &SourceFile) -> BTreeMap<String, u64> {
             // An indexing expression: `[` directly after a value-producing
             // token (identifier, `)`, or `]`). Attribute `#[`, macro
             // `vec![`, types `: [u8; 4]`, and slice patterns follow other
-            // token kinds and are not counted.
+            // token kinds and are not counted. Keywords lex as identifiers
+            // but never end a value expression (`&mut [T]`, `return [..]`),
+            // so they don't open an index either.
             TokKind::Punct(b'[') if i > 0 => match &toks[i - 1].kind {
-                TokKind::Ident(_) | TokKind::Punct(b')') | TokKind::Punct(b']') => Some("index"),
+                TokKind::Ident(s) if !is_keyword(s) => Some("index"),
+                TokKind::Punct(b')') | TokKind::Punct(b']') => Some("index"),
                 _ => None,
             },
             _ => None,
@@ -137,6 +149,14 @@ mod tests {
             "let a = x.unwrap_or(0);\nlet b = y.unwrap_or_else(|| 0);\nlet t: [u8; 4] = [0; 4];\n#[derive(Debug)]\nstruct S;\nlet v = vec![1, 2];\nlet w = matches!(q, Some(_));\n",
         );
         assert_eq!(c.values().sum::<u64>(), 0, "{c:?}");
+    }
+
+    #[test]
+    fn keyword_before_bracket_is_not_an_index() {
+        let c = counts(
+            "fn f(q: &mut [u64], d: &dyn T) -> [u8; 2] {\n  for x in [1, 2] {}\n  if cond { return [0, 0] } else [9, 9]\n  q[0]\n}\n",
+        );
+        assert_eq!(c["index"], 1, "{c:?}"); // only q[0]
     }
 
     #[test]

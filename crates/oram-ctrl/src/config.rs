@@ -127,6 +127,15 @@ pub struct SystemConfig {
     /// [`crate::SimError::StashOverflow`], not a panic.
     #[serde(default)]
     pub stash_hard_limit: usize,
+    /// Host worker threads for intra-batch DRAM scheduling (`1` = serial,
+    /// the default). Purely an execution knob: DRAM channels are
+    /// independent, and the scheduler merges per-channel results in fixed
+    /// channel order, so every value produces byte-identical reports.
+    /// Batches below [`iroram_dram::DramSystem::PARALLEL_MIN_BATCH`]
+    /// requests always schedule serially regardless of this setting
+    /// (`0` is clamped to serial at the scheduler).
+    #[serde(default)]
+    pub sched_threads: u32,
 }
 
 impl SystemConfig {
@@ -177,6 +186,7 @@ impl SystemConfig {
             faults: FaultConfig::none(),
             refetch_lat: 100,
             stash_hard_limit: 0,
+            sched_threads: 1,
         };
         base.with_scheme(scheme)
     }
@@ -297,6 +307,7 @@ impl SystemConfig {
             "audit" => self.audit = flag(key, value)?,
             "refetch_lat" => self.refetch_lat = num(key, value)?,
             "stash_hard_limit" => self.stash_hard_limit = num(key, value)?,
+            "sched_threads" => self.sched_threads = num(key, value)?,
             "oram" => {
                 return Err("--set oram: structured; use the scale flags or edit the config".into())
             }
@@ -442,6 +453,8 @@ mod tests {
         assert_eq!(cfg.t_interval, 1234);
         cfg.set_field("stash_hard_limit", "4096").unwrap();
         assert_eq!(cfg.effective_stash_hard_limit(), 4096);
+        cfg.set_field("sched_threads", "4").unwrap();
+        assert_eq!(cfg.sched_threads, 4);
         // scheme re-derives the ORAM matrix.
         cfg.set_field("scheme", "IR-ORAM").unwrap();
         assert_eq!(cfg.scheme, Scheme::IrOram);

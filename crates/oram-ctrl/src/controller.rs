@@ -147,7 +147,11 @@ impl TimedController {
             .then(|| DwbEngine::new(cfg.seed ^ 0xD00D));
         TimedController {
             protocol,
-            dram: DramSystem::new(cfg.dram),
+            dram: {
+                let mut d = DramSystem::new(cfg.dram);
+                d.set_sched_threads(cfg.sched_threads);
+                d
+            },
             path_table,
             reqs_buf: Vec::new(),
             t_interval: cfg.t_interval,

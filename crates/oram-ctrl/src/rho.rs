@@ -159,7 +159,11 @@ impl RhoController {
         RhoController {
             main,
             small,
-            dram: DramSystem::new(cfg.dram),
+            dram: {
+                let mut d = DramSystem::new(cfg.dram);
+                d.set_sched_threads(cfg.sched_threads);
+                d
+            },
             main_table: main_layout.path_table(0),
             small_table: small_layout.path_table(0),
             small_offset,

@@ -11,7 +11,8 @@ use iroram_sim_engine::SimRng;
 use crate::posmap::PlbStatus;
 use crate::treetop::{DedicatedTreeTop, IrStashTop, TreeTopStore};
 use crate::{
-    AddressSpace, BlockAddr, BlockKind, Leaf, OramTree, PathRecord, PathType, PosMapSystem,
+    AddressSpace, BlockAddr, BlockKind, Leaf, OramTree, PathList, PathRecord, PathType,
+    PosMapSystem,
     ServedFrom, Stash, StoredBlock, TreeLayout, WritebackPlan, ZAllocation,
 };
 
@@ -232,7 +233,7 @@ impl ProtocolStats {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AccessRecord {
     /// Path accesses performed, in order.
-    pub paths: Vec<PathRecord>,
+    pub paths: PathList,
     /// Where the requested block was found.
     pub served: ServedFrom,
     /// The block's payload value (before any write of this access).
@@ -274,6 +275,9 @@ pub struct PathOram {
     // Hot-loop scratch reused across path accesses (never logical state).
     plan: WritebackPlan,
     read_buf: Vec<StoredBlock>,
+    pay_buf: Vec<u64>,
+    bounds: Vec<usize>,
+    rej_buf: Vec<StoredBlock>,
 }
 
 impl std::fmt::Debug for PathOram {
@@ -316,8 +320,7 @@ impl PathOram {
                 Some(Box::new(IrStashTop::new(&layout, levels, sets, ways)))
             }
         };
-        let mut tree = OramTree::new(layout.clone());
-        tree.set_integrity(cfg.integrity);
+        let tree = OramTree::new(layout.clone());
         let mut oram = PathOram {
             cipher: FeistelCipher::new(cfg.seed ^ 0x0BAD_5EED),
             tree,
@@ -328,6 +331,9 @@ impl PathOram {
             rng,
             plan: WritebackPlan::new(),
             read_buf: Vec::new(),
+            pay_buf: Vec::new(),
+            bounds: Vec::new(),
+            rej_buf: Vec::new(),
             stats: ProtocolStats {
                 served_level: vec![0; cfg.levels],
                 ..ProtocolStats::default()
@@ -336,6 +342,12 @@ impl PathOram {
             cfg,
         };
         oram.initialize();
+        // Checksums are derived data: enabling integrity before init would
+        // re-sum every touched bucket across the ~N initialization paths.
+        // One O(total-slots) pass over the populated tree yields the same
+        // sums (they are recomputed from slot contents; the rng stream and
+        // statistics are untouched, so reports cannot change).
+        oram.tree.set_integrity(oram.cfg.integrity);
         oram
     }
 
@@ -458,12 +470,12 @@ impl PathOram {
         self.stats.accesses += 1;
         if let Some((served, payload)) = self.front_access(addr, write) {
             return AccessRecord {
-                paths: Vec::new(),
+                paths: PathList::new(),
                 served,
                 payload,
             };
         }
-        let mut paths = Vec::new();
+        let mut paths = PathList::new();
         for pm in self.posmap_resolve(addr) {
             let rec = self.fetch_posmap_block(pm);
             paths.extend(rec.paths);
@@ -626,7 +638,7 @@ impl PathOram {
     /// Full delayed write-back convenience (PosMap resolution + insertion),
     /// returning the PosMap paths it generated.
     pub fn delayed_writeback(&mut self, addr: BlockAddr) -> AccessRecord {
-        let mut paths = Vec::new();
+        let mut paths = PathList::new();
         for pm in self.posmap_resolve(addr) {
             paths.extend(self.fetch_posmap_block(pm).paths);
         }
@@ -752,7 +764,7 @@ impl PathOram {
                 self.stats.sstash_hits += 1;
                 self.stats.served_level[level] += 1;
                 return AccessRecord {
-                    paths: Vec::new(),
+                    paths: PathList::new(),
                     served: ServedFrom::SStash,
                     payload,
                 };
@@ -772,7 +784,7 @@ impl PathOram {
                 self.stats.treetop_hits += 1;
                 self.stats.served_level[level] += 1;
                 return AccessRecord {
-                    paths: Vec::new(),
+                    paths: PathList::new(),
                     served: ServedFrom::TreeTop { level },
                     payload,
                 };
@@ -780,7 +792,7 @@ impl PathOram {
         }
         let (rec, served, payload) = self.path_access(leaf, Some(addr), ptype, action, write);
         AccessRecord {
-            paths: vec![rec],
+            paths: PathList::one(rec),
             served: served.expect("targeted path access reports a source"),
             payload,
         }
@@ -811,7 +823,7 @@ impl PathOram {
             }
         };
         AccessRecord {
-            paths: Vec::new(),
+            paths: PathList::new(),
             served: ServedFrom::FStash,
             payload,
         }
@@ -830,10 +842,17 @@ impl PathOram {
         for level in 0..cached {
             let bucket = self.layout.bucket_on_path(leaf, level);
             let top = self.top.as_mut().expect("probed only when present");
-            if !top.peek_bucket(level, bucket).iter().any(|b| b.addr == addr) {
+            if !top.bucket_contains(level, bucket, addr) {
                 continue;
             }
-            let mut blocks = top.take_bucket(level, bucket);
+            // Serve in place through the controller scratch buffers: the
+            // take/write round-trip reuses their capacity, so a tree-top
+            // hit allocates nothing.
+            let mut blocks = std::mem::take(&mut self.read_buf);
+            let mut rejected = std::mem::take(&mut self.rej_buf);
+            blocks.clear();
+            rejected.clear();
+            top.take_bucket_into(level, bucket, &mut blocks);
             let mut payload = 0;
             for b in &mut blocks {
                 if b.addr == addr {
@@ -843,14 +862,16 @@ impl PathOram {
                     }
                 }
             }
-            let rejected = top.write_bucket(level, bucket, blocks);
+            top.write_bucket_from(level, bucket, &mut blocks, &mut rejected);
             debug_assert!(
                 rejected.is_empty(),
                 "re-writing a bucket's own contents must fit"
             );
-            for r in rejected {
+            for r in rejected.drain(..) {
                 self.stash.insert(r);
             }
+            self.read_buf = blocks;
+            self.rej_buf = rejected;
             return Some((level, payload));
         }
         None
@@ -885,43 +906,65 @@ impl PathOram {
         // are read without allocating.
         let mut read_buf = std::mem::take(&mut self.read_buf);
         let mut found_level: Option<usize> = None;
-        for level in 0..levels {
+        read_buf.clear();
+        for level in 0..cached {
             let bucket = self.layout.bucket_on_path(leaf, level);
-            if level < cached {
-                let blocks = self
-                    .top
-                    .as_mut()
-                    .expect("cached levels imply a top store")
-                    .take_bucket(level, bucket);
-                for b in blocks {
-                    if Some(b.addr) == target {
-                        found_level = Some(level);
-                    }
-                    self.stash.insert(b);
-                }
-            } else {
-                // Integrity layer: verify the bucket's checksum before its
-                // contents are trusted; detected corruption is repaired
-                // (re-fetch) and the timing layer charges the penalty.
-                self.tree.verify_and_repair(level, bucket);
-                read_buf.clear();
-                self.tree.take_bucket_into(level, bucket, &mut read_buf);
-                for b in read_buf.drain(..) {
-                    let b = if self.cfg.encrypt_payloads {
-                        StoredBlock {
-                            payload: self.cipher.decrypt(b.payload),
-                            ..b
-                        }
-                    } else {
-                        b
-                    };
-                    if Some(b.addr) == target {
-                        found_level = Some(level);
-                    }
-                    self.stash.insert(b);
+            let start = read_buf.len();
+            self.top
+                .as_mut()
+                .expect("cached levels imply a top store")
+                .take_bucket_into(level, bucket, &mut read_buf);
+            if let Some(addr) = target {
+                // lint: allow(panic, start was read_buf.len() before the append)
+                if read_buf[start..].iter().any(|b| b.addr == addr) {
+                    found_level = Some(level);
                 }
             }
         }
+        // One merged insert for the whole cached segment: the stash is
+        // keyed by address, so batch order cannot change its contents.
+        self.stash.insert_batch(&mut read_buf);
+        // Integrity layer: verify the whole path's checksums up front, before
+        // any of its contents are trusted; detected corruption is repaired
+        // (re-fetch) and the timing layer charges the penalty. Buckets on the
+        // path are level-distinct, so one hoisted pass performs exactly the
+        // per-level verifications the read loop used to interleave.
+        self.tree.verify_and_repair_path(leaf, cached);
+        // Gather every memory bucket into one buffer, recording per-level
+        // boundaries so the serve attribution below survives the batching,
+        // then run payload decryption through the slice kernel instead of
+        // block-at-a-time.
+        read_buf.clear();
+        let mut bounds = std::mem::take(&mut self.bounds);
+        bounds.clear();
+        for level in cached..levels {
+            let bucket = self.layout.bucket_on_path(leaf, level);
+            bounds.push(read_buf.len());
+            self.tree.take_bucket_into(level, bucket, &mut read_buf);
+        }
+        bounds.push(read_buf.len());
+        if self.cfg.encrypt_payloads {
+            let mut pay = std::mem::take(&mut self.pay_buf);
+            pay.clear();
+            pay.extend(read_buf.iter().map(|b| b.payload));
+            self.cipher.decrypt_slice(&mut pay);
+            for (b, &p) in read_buf.iter_mut().zip(&pay) {
+                b.payload = p;
+            }
+            self.pay_buf = pay;
+        }
+        if let Some(addr) = target {
+            for (i, w) in bounds.windows(2).enumerate() {
+                // lint: allow(panic, windows(2) yields pairs; bounds entries are read_buf lengths recorded above, so the range is in bounds)
+                if read_buf[w[0]..w[1]].iter().any(|b| b.addr == addr) {
+                    found_level = Some(cached + i);
+                }
+            }
+        }
+        // Batch merge (sorts and clears `read_buf`; the per-level order is
+        // no longer needed once attribution above has run).
+        self.stash.insert_batch(&mut read_buf);
+        self.bounds = bounds;
         self.read_buf = read_buf;
         self.stats.blocks_from_memory += self.layout.path_len_memory(cached);
 
@@ -995,29 +1038,44 @@ impl PathOram {
                 },
                 &mut plan,
             );
+        if self.cfg.encrypt_payloads {
+            // Batch-encrypt every memory-bound payload through the slice
+            // kernel before the write loop; encryption is a per-block
+            // permutation, so order does not matter.
+            let mut pay = std::mem::take(&mut self.pay_buf);
+            pay.clear();
+            for level in cached..plan.len() {
+                pay.extend(plan.level_mut(level).iter().map(|b| b.payload));
+            }
+            self.cipher.encrypt_slice(&mut pay);
+            let mut i = 0;
+            for level in cached..plan.len() {
+                for b in plan.level_mut(level).iter_mut() {
+                    // lint: allow(panic, pay holds exactly one payload per memory-level plan block, gathered in this same iteration order)
+                    b.payload = pay[i];
+                    i += 1;
+                }
+            }
+            self.pay_buf = pay;
+        }
+        let mut rej_buf = std::mem::take(&mut self.rej_buf);
         for level in 0..plan.len() {
             let bucket = self.layout.bucket_on_path(leaf, level);
             if level < cached {
-                let blocks = std::mem::take(plan.level_mut(level));
-                let rejected = self
-                    .top
+                rej_buf.clear();
+                self.top
                     .as_mut()
                     .expect("cached levels imply a top store")
-                    .write_bucket(level, bucket, blocks);
-                self.stats.sstash_rejects += rejected.len() as u64;
-                for r in rejected {
+                    .write_bucket_from(level, bucket, plan.level_mut(level), &mut rej_buf);
+                self.stats.sstash_rejects += rej_buf.len() as u64;
+                for r in rej_buf.drain(..) {
                     self.stash.insert(r);
                 }
             } else {
-                let blocks = plan.level_mut(level);
-                if self.cfg.encrypt_payloads {
-                    for b in blocks.iter_mut() {
-                        b.payload = self.cipher.encrypt(b.payload);
-                    }
-                }
-                self.tree.write_bucket_from(level, bucket, blocks);
+                self.tree.write_bucket_from(level, bucket, plan.level_mut(level));
             }
         }
+        self.rej_buf = rej_buf;
         self.plan = plan;
         self.stats.blocks_to_memory += self.layout.path_len_memory(cached);
 

@@ -46,6 +46,6 @@ pub use posmap::{AddressSpace, PlbStatus, PosMapSystem, ENTRIES_PER_BLOCK};
 pub use stash::{Stash, WritebackPlan};
 pub use tree::{IntegrityStats, OramTree};
 pub use treetop::{DedicatedTreeTop, IrStashTop, TreeTopStore};
-pub use types::{BlockAddr, BlockKind, Leaf, PathRecord, PathType, ServedFrom, StoredBlock};
+pub use types::{BlockAddr, BlockKind, Leaf, PathList, PathRecord, PathType, ServedFrom, StoredBlock};
 pub use zalloc::preset_consts as zalloc_preset;
 pub use zalloc::{AllocPreset, GreedySearchOutcome, ZAllocation};

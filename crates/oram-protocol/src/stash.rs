@@ -3,8 +3,43 @@
 use serde::{Deserialize, Serialize};
 // lint: allow(determinism, hot-path lookup map; every iteration sorts keys before use)
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use iroram_hash::mix64;
 
 use crate::{BlockAddr, Leaf, StoredBlock, TreeLayout};
+
+/// A deterministic single-multiply hasher for block addresses. The stash
+/// map is keyed by `u64` addresses and sits on the per-path hot loop, where
+/// the default SipHash costs more than the lookup it guards; one `mix64`
+/// round spreads addresses fine. Determinism is *not* load-bearing here —
+/// no report-visible output depends on map iteration order (write-back
+/// planning sorts its candidates) — but a fixed hasher keeps the whole
+/// simulator free of per-process randomness.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys (unused by the stash): FNV-1a.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = mix64(v);
+    }
+}
+
+// lint: allow(determinism, lookup-only map with a fixed keyed hasher; every report-visible iteration sorts in plan_writeback_into)
+pub(crate) type AddrMap<V> = HashMap<u64, V, BuildHasherDefault<AddrHasher>>;
 
 /// The small fully-associative on-chip buffer holding in-flight blocks.
 ///
@@ -26,16 +61,23 @@ use crate::{BlockAddr, Leaf, StoredBlock, TreeLayout};
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Stash {
-    // lint: allow(determinism, hot-path lookup map; write-back planning sorts candidates)
-    blocks: HashMap<u64, StoredBlock>,
+    /// Resident blocks, kept sorted by address. Peak occupancy in any
+    /// configured run stays well under a hundred blocks, so a
+    /// binary-search-plus-memmove vector beats a hash map on the per-path
+    /// hot loop *and* hands the write-back planner an address-ordered
+    /// iteration for free (its counting sort becomes fully
+    /// comparison-free).
+    blocks: Vec<StoredBlock>,
     capacity: usize,
     max_occupancy: usize,
     // Write-back planning scratch, kept across calls so the per-path hot
     // loop allocates nothing. Not logical state: always left consistent but
     // meaningless between calls.
-    cands: Vec<(u32, u64)>,
-    sorted: Vec<(u32, u64)>,
+    cands: Vec<(u32, u32)>,
+    sorted: Vec<(u32, u32)>,
     offsets: Vec<usize>,
+    placed: Vec<bool>,
+    skipped: Vec<(u32, u32)>,
 }
 
 /// A reusable write-back plan: the per-level block lists
@@ -107,14 +149,22 @@ impl Stash {
     /// 200 entries, Table I).
     pub fn new(capacity: usize) -> Self {
         Stash {
-            // lint: allow(determinism, hot-path lookup map; iteration order never observed)
-            blocks: HashMap::new(),
+            blocks: Vec::new(),
             capacity,
             max_occupancy: 0,
             cands: Vec::new(),
             sorted: Vec::new(),
             offsets: Vec::new(),
+            placed: Vec::new(),
+            skipped: Vec::new(),
         }
+    }
+
+    /// Position of `addr` in the sorted block vector (`Err` = insertion
+    /// point).
+    #[inline]
+    fn pos(&self, addr: u64) -> Result<usize, usize> {
+        self.blocks.binary_search_by_key(&addr, |b| b.addr.0)
     }
 
     /// The soft capacity.
@@ -145,33 +195,89 @@ impl Stash {
 
     /// Inserts a block (replacing any stale copy of the same address).
     pub fn insert(&mut self, block: StoredBlock) {
-        self.blocks.insert(block.addr.0, block);
+        match self.pos(block.addr.0) {
+            // lint: allow(panic, index returned by binary_search is in range)
+            Ok(i) => self.blocks[i] = block,
+            Err(i) => self.blocks.insert(i, block),
+        }
+        self.max_occupancy = self.max_occupancy.max(self.blocks.len());
+    }
+
+    /// Inserts every block of `incoming` (clearing it). Equivalent to one
+    /// [`Stash::insert`] per element, but a single O(n + k) backward merge
+    /// replaces k O(n) shifted inserts — the read phase of a path access
+    /// lands a whole path's worth of blocks at once, and per-element
+    /// insertion was the stash's largest memmove source.
+    pub fn insert_batch(&mut self, incoming: &mut Vec<StoredBlock>) {
+        if incoming.is_empty() {
+            return;
+        }
+        incoming.sort_unstable_by_key(|b| b.addr.0);
+        debug_assert!(
+            incoming.windows(2).all(|w| w[0].addr.0 != w[1].addr.0),
+            "insert_batch: duplicate addresses within one batch"
+        );
+        let n = self.blocks.len();
+        let k = incoming.len();
+        // lint: allow(panic, k >= 1 checked above)
+        let filler = incoming[k - 1];
+        self.blocks.resize(n + k, filler);
+        let (mut i, mut j, mut w) = (n, k, n + k);
+        while j > 0 {
+            w -= 1;
+            // lint: allow(panic, i <= n and j <= k and w < n + k throughout the merge)
+            if i > 0 && self.blocks[i - 1].addr.0 > incoming[j - 1].addr.0 {
+                // lint: allow(panic, i >= 1 and w < n + k)
+                self.blocks[w] = self.blocks[i - 1];
+                i -= 1;
+            } else {
+                // lint: allow(panic, i >= 1 inside the guard; j >= 1 from the loop condition)
+                if i > 0 && self.blocks[i - 1].addr.0 == incoming[j - 1].addr.0 {
+                    i -= 1; // stale copy replaced by the incoming block
+                }
+                // lint: allow(panic, j >= 1 from the loop condition and w < n + k)
+                self.blocks[w] = incoming[j - 1];
+                j -= 1;
+            }
+        }
+        if w > i {
+            // Address collisions dropped stale copies, leaving a gap
+            // between the untouched prefix and the merged tail; close it.
+            let dropped = w - i;
+            self.blocks.copy_within(w.., i);
+            self.blocks.truncate(n + k - dropped);
+        }
+        incoming.clear();
         self.max_occupancy = self.max_occupancy.max(self.blocks.len());
     }
 
     /// Whether a block with `addr` is resident.
     pub fn contains(&self, addr: BlockAddr) -> bool {
-        self.blocks.contains_key(&addr.0)
+        self.pos(addr.0).is_ok()
     }
 
     /// Immutable view of a resident block.
     pub fn get(&self, addr: BlockAddr) -> Option<&StoredBlock> {
-        self.blocks.get(&addr.0)
+        self.pos(addr.0).ok().and_then(|i| self.blocks.get(i))
     }
 
     /// Mutable view of a resident block (for payload updates and remaps).
     pub fn get_mut(&mut self, addr: BlockAddr) -> Option<&mut StoredBlock> {
-        self.blocks.get_mut(&addr.0)
+        match self.pos(addr.0) {
+            // lint: allow(panic, index returned by binary_search is in range)
+            Ok(i) => Some(&mut self.blocks[i]),
+            Err(_) => None,
+        }
     }
 
     /// Removes and returns the block with `addr`.
     pub fn take(&mut self, addr: BlockAddr) -> Option<StoredBlock> {
-        self.blocks.remove(&addr.0)
+        self.pos(addr.0).ok().map(|i| self.blocks.remove(i))
     }
 
-    /// Iterates over resident blocks in unspecified order.
+    /// Iterates over resident blocks in ascending address order.
     pub fn iter(&self) -> impl Iterator<Item = &StoredBlock> {
-        self.blocks.values()
+        self.blocks.iter()
     }
 
     /// Plans the write-back of a path to `leaf`: selects, for each level in
@@ -206,11 +312,13 @@ impl Stash {
     /// internal candidate scratch across calls.
     ///
     /// Candidates are ordered deepest-common-depth first (ties broken by
-    /// ascending address) via a counting sort over depths — the depth domain
-    /// is tiny (`layout.levels()`), so this replaces the old
-    /// `O(n log n)` comparison sort with `O(n + levels)` work plus small
-    /// per-depth address sorts that exist only to pin down a deterministic
-    /// total order (`HashMap` iteration order is arbitrary).
+    /// ascending address) via a **stable counting sort** over depths: the
+    /// block vector is already address-sorted, the scatter preserves the
+    /// source order inside each depth segment, so the final order is
+    /// (depth desc, addr asc) with no comparison sort at all. Selection is
+    /// mark-and-sweep — placed blocks are flagged and removed in one
+    /// compaction pass at the end, so the greedy fill itself never shifts
+    /// the vector.
     pub fn plan_writeback_into(
         &mut self,
         layout: &TreeLayout,
@@ -222,14 +330,14 @@ impl Stash {
         let levels = layout.levels();
         plan.reset(levels - top_level);
 
-        // --- Counting sort of (common depth, addr), deepest depth first. ---
+        // --- Stable counting sort of (common depth, index), deepest first.
         self.cands.clear();
         self.offsets.clear();
         self.offsets.resize(levels, 0);
-        for b in self.blocks.values() {
+        for (i, b) in self.blocks.iter().enumerate() {
             let depth = layout.common_depth(b.leaf, leaf);
             self.offsets[depth] += 1;
-            self.cands.push((depth as u32, b.addr.0));
+            self.cands.push((depth as u32, i as u32));
         }
         let n = self.cands.len();
         let mut acc = 0usize;
@@ -241,26 +349,22 @@ impl Stash {
         self.sorted.clear();
         self.sorted.resize(n, (0, 0));
         for i in 0..n {
-            let (depth, addr) = self.cands[i];
+            let (depth, idx) = self.cands[i];
             let pos = self.offsets[depth as usize];
             self.offsets[depth as usize] += 1;
-            self.sorted[pos] = (depth, addr);
+            self.sorted[pos] = (depth, idx);
         }
-        // Pin the address order inside each depth segment: the scatter above
-        // preserved HashMap iteration order, which is arbitrary, and the
-        // greedy fill below must see one deterministic total order.
-        let mut seg = 0usize;
-        while seg < n {
-            let depth = self.sorted[seg].0;
-            let mut end = seg + 1;
-            while end < n && self.sorted[end].0 == depth {
-                end += 1;
-            }
-            self.sorted[seg..end].sort_unstable_by_key(|&(_, addr)| addr);
-            seg = end;
-        }
+        self.placed.clear();
+        self.placed.resize(n, false);
+        self.skipped.clear();
 
         // --- Greedy deepest-first fill (unchanged placement rule). ---
+        //
+        // An entry the cursor passes without placing was rejected by
+        // `may_place`; it lands on the `skipped` list (in cursor order, i.e.
+        // global candidate order) so shallower levels can revisit exactly
+        // those entries instead of rescanning the whole prefix — every
+        // unplaced entry before the cursor is on the list by construction.
         let mut cursor = 0usize;
         for level in (top_level..levels).rev() {
             let cap = layout.z_of(level) as usize;
@@ -268,43 +372,66 @@ impl Stash {
             // Blocks with common depth ≥ level can live at `level` (or
             // deeper, but deeper levels were already filled).
             while cursor < n && plan.levels[slot_idx].len() < cap {
-                let (depth, addr) = self.sorted[cursor];
+                // lint: allow(panic, cursor < n and indices come from enumerate)
+                let (depth, idx) = self.sorted[cursor];
                 if (depth as usize) < level {
                     break;
                 }
                 cursor += 1;
-                let block = self.blocks[&addr];
-                if !may_place(level, &block) {
-                    continue; // skipped this round (e.g. S-Stash set full)
+                // lint: allow(panic, idx comes from enumerate over blocks)
+                let b = &self.blocks[idx as usize];
+                if !may_place(level, b) {
+                    // Skipped this round (e.g. S-Stash set full); still a
+                    // candidate for shallower levels.
+                    self.skipped.push((depth, idx));
+                    continue;
                 }
-                let taken = self.blocks.remove(&addr).expect("candidate resident");
-                plan.levels[slot_idx].push(taken);
+                plan.levels[slot_idx].push(*b);
+                // lint: allow(panic, idx < n by construction)
+                self.placed[idx as usize] = true;
             }
-            // Skipped blocks with depth ≥ level may still fit at a
-            // shallower level; re-scan is handled by the shallower levels
-            // because their depth also satisfies depth ≥ shallower level.
-            // (cursor has moved past them, so re-insert logic below.)
+            // Give passed-over candidates another chance at this level:
+            // they were rejected by may_place at deeper levels (or at this
+            // one, if a deeper set freed up mid-fill) and remain eligible.
             if plan.levels[slot_idx].len() < cap {
-                // Give passed-over candidates another chance at this level:
-                // they were skipped by may_place at deeper levels, or left
-                // behind by capacity; both remain eligible here.
-                for i in 0..cursor {
+                for k in 0..self.skipped.len() {
                     if plan.levels[slot_idx].len() >= cap {
                         break;
                     }
-                    let (depth, addr) = self.sorted[i];
-                    if (depth as usize) < level || !self.blocks.contains_key(&addr) {
+                    // lint: allow(panic, k < skipped.len())
+                    let (depth, idx) = self.skipped[k];
+                    if (depth as usize) < level {
                         continue;
                     }
-                    let block = self.blocks[&addr];
-                    if !may_place(level, &block) {
+                    // lint: allow(panic, idx < n by construction)
+                    if self.placed[idx as usize] {
                         continue;
                     }
-                    let taken = self.blocks.remove(&addr).expect("candidate resident");
-                    plan.levels[slot_idx].push(taken);
+                    // lint: allow(panic, idx comes from enumerate over blocks)
+                    let b = &self.blocks[idx as usize];
+                    if !may_place(level, b) {
+                        continue;
+                    }
+                    plan.levels[slot_idx].push(*b);
+                    // lint: allow(panic, idx < n by construction)
+                    self.placed[idx as usize] = true;
                 }
             }
         }
+
+        // --- Sweep: drop every placed block, preserving address order. ---
+        let mut w = 0usize;
+        for r in 0..n {
+            // lint: allow(panic, r < n = blocks.len = placed.len)
+            if !self.placed[r] {
+                if w != r {
+                    // lint: allow(panic, w <= r < n)
+                    self.blocks[w] = self.blocks[r];
+                }
+                w += 1;
+            }
+        }
+        self.blocks.truncate(w);
     }
 }
 

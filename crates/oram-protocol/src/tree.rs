@@ -50,12 +50,20 @@ pub struct OramTree {
     /// Real blocks per level, maintained incrementally for O(L) utilization
     /// snapshots.
     used_per_level: Vec<u64>,
+    /// Real blocks per bucket, indexed by flat bucket index. Writes pack
+    /// real blocks into slots `0..used` (dummies fill the tail), so a take
+    /// walks exactly `used` contiguous slots instead of scanning all `Z`.
+    used: Vec<u16>,
     /// Whether per-bucket checksums are maintained and verified (the
     /// IRO-style integrity layer; see [`OramTree::set_integrity`]).
     integrity: bool,
     /// Per-bucket checksums, indexed by flat bucket index
     /// `(1 << level) - 1 + bucket`. Empty while integrity is off.
     sums: Vec<u64>,
+    /// Checksum of an all-dummy bucket at each level (a function of `Z`
+    /// alone): what a bucket's checksum becomes after a take, precomputed
+    /// so the fault-free fast paths never re-read slots to re-sum.
+    empty_sums: Vec<u64>,
     /// Outstanding injected corruptions: flat bucket index → `(slot, mask)`
     /// pairs whose XOR has been applied to the stored payload but not yet
     /// repaired or consumed.
@@ -88,15 +96,42 @@ impl OramTree {
     pub fn new(layout: TreeLayout) -> Self {
         let slots = vec![EMPTY_SLOT; layout.total_slots() as usize];
         let used_per_level = vec![0; layout.levels()];
+        let used = vec![0u16; (1usize << layout.levels()) - 1];
+        let empty_sums = (0..layout.levels())
+            .map(|level| {
+                let mut h = 0xCBF2_9CE4_8422_2325u64;
+                for _ in 0..layout.z_of(level) {
+                    h = mix(h, DUMMY);
+                    h = mix(h, 0);
+                    h = mix(h, 0);
+                }
+                h
+            })
+            .collect();
         OramTree {
             layout,
             slots,
             used_per_level,
+            used,
             integrity: false,
             sums: Vec::new(),
+            empty_sums,
             injected: BTreeMap::new(),
             istats: IntegrityStats::default(),
         }
+    }
+
+    /// Whether no corruption has ever been injected. While pristine, every
+    /// stored checksum matches its bucket by construction (the only
+    /// mutations are take/write, which both refresh the sum), every dummy
+    /// slot holds the canonical empty pattern, and the fast paths below may
+    /// skip re-scanning slots. One `inject_fault` call permanently drops
+    /// the tree back to the exhaustive legacy scans — fault campaigns pay
+    /// full price, fault-free runs (the default) never re-read a bucket to
+    /// checksum it.
+    #[inline]
+    fn pristine(&self) -> bool {
+        self.istats.injected == 0
     }
 
     /// The layout.
@@ -111,17 +146,34 @@ impl OramTree {
     }
 
     /// Checksum of a bucket's current contents (dummies included, so a
-    /// flipped bit anywhere in the stored bucket is visible).
-    fn bucket_sum(&self, level: usize, bucket: u64) -> u64 {
-        let z = self.layout.z_of(level);
+    /// flipped bit anywhere in the stored bucket is visible). Walks the
+    /// bucket's `Z` slots as one contiguous slice — the level-major arena
+    /// makes a whole path's checksums sequential reads.
+    pub fn bucket_sum(&self, level: usize, bucket: u64) -> u64 {
+        let z = self.layout.z_of(level) as usize;
+        if z == 0 {
+            return 0xCBF2_9CE4_8422_2325;
+        }
+        let base = self.layout.slot_index(level, bucket, 0);
         let mut h = 0xCBF2_9CE4_8422_2325u64;
-        for s in 0..z {
-            let slot = &self.slots[self.layout.slot_index(level, bucket, s)];
+        for slot in &self.slots[base..base + z] {
             h = mix(h, slot.addr);
             h = mix(h, slot.leaf);
             h = mix(h, slot.payload);
         }
         h
+    }
+
+    /// The batched checksum kernel: one sum per level of the path to
+    /// `leaf`, from `from_level` to the leaves, appended to `out`. The
+    /// per-bucket folds are the same as [`OramTree::bucket_sum`], but the
+    /// whole path is summed in one pass over the arena, which is what the
+    /// read-phase verification consumes.
+    pub fn path_sums_into(&self, leaf: Leaf, from_level: usize, out: &mut Vec<u64>) {
+        for level in from_level..self.layout.levels() {
+            let bucket = self.layout.bucket_on_path(leaf, level);
+            out.push(self.bucket_sum(level, bucket));
+        }
     }
 
     /// Refreshes a bucket's stored checksum after a legitimate mutation.
@@ -186,6 +238,15 @@ impl OramTree {
         if !self.integrity {
             return 0;
         }
+        if self.pristine() {
+            // Nothing was ever corrupted, so the stored sum matches by
+            // construction; skip the O(Z) re-scan (checked in debug).
+            debug_assert_eq!(
+                self.bucket_sum(level, bucket),
+                self.sums[self.bucket_index(level, bucket)]
+            );
+            return 0;
+        }
         let bidx = self.bucket_index(level, bucket);
         if self.bucket_sum(level, bucket) == self.sums[bidx] {
             return 0;
@@ -205,6 +266,33 @@ impl OramTree {
         entries.len().max(1) as u64
     }
 
+    /// Verifies (and repairs) every memory bucket on the path to `leaf`
+    /// from `from_level` down, returning the total detections — the
+    /// batched read-phase verification step. Per-bucket effects and
+    /// counter evolution are identical to calling
+    /// [`OramTree::verify_and_repair`] level by level (a path visits each
+    /// bucket at most once, so the per-bucket order is the same).
+    pub fn verify_and_repair_path(&mut self, leaf: Leaf, from_level: usize) -> u64 {
+        if !self.integrity || self.pristine() {
+            #[cfg(debug_assertions)]
+            if self.integrity {
+                let mut sums = Vec::new();
+                self.path_sums_into(leaf, from_level, &mut sums);
+                for (level, sum) in (from_level..self.layout.levels()).zip(sums) {
+                    let bucket = self.layout.bucket_on_path(leaf, level);
+                    debug_assert_eq!(sum, self.sums[self.bucket_index(level, bucket)]);
+                }
+            }
+            return 0;
+        }
+        let mut detections = 0;
+        for level in from_level..self.layout.levels() {
+            let bucket = self.layout.bucket_on_path(leaf, level);
+            detections += self.verify_and_repair(level, bucket);
+        }
+        detections
+    }
+
     /// Removes and returns the real blocks of bucket `(level, bucket)`
     /// (the read-path step: fetched blocks move to the stash, dummies are
     /// discarded).
@@ -218,6 +306,34 @@ impl OramTree {
     /// capacity (the controller's per-path hot loop).
     pub fn take_bucket_into(&mut self, level: usize, bucket: u64, out: &mut Vec<StoredBlock>) {
         let z = self.layout.z_of(level);
+        if self.pristine() {
+            // Fast path: real blocks are packed into slots `0..used`, so
+            // read exactly those and reset them; the bucket is all-dummy
+            // afterwards, so its checksum is the precomputed per-level
+            // empty sum — no slots are re-read. An empty bucket mutates
+            // nothing at all.
+            let bidx = self.bucket_index(level, bucket);
+            let used = self.used[bidx] as usize;
+            if used == 0 {
+                return;
+            }
+            let base = self.layout.slot_index(level, bucket, 0);
+            for slot in &mut self.slots[base..base + used] {
+                debug_assert_ne!(slot.addr, DUMMY, "used count exceeds packed prefix");
+                out.push(StoredBlock {
+                    addr: BlockAddr(slot.addr),
+                    leaf: Leaf(slot.leaf),
+                    payload: slot.payload,
+                });
+                *slot = EMPTY_SLOT;
+            }
+            self.used[bidx] = 0;
+            self.used_per_level[level] -= used as u64;
+            if self.integrity {
+                self.sums[bidx] = self.empty_sums[level];
+            }
+            return;
+        }
         if !self.injected.is_empty() {
             // Corruptions still outstanding at consumption time were not
             // caught by verification (integrity off, or a direct take).
@@ -249,6 +365,8 @@ impl OramTree {
             }
         }
         self.used_per_level[level] -= taken;
+        let bidx = self.bucket_index(level, bucket);
+        self.used[bidx] = 0;
         self.resum(level, bucket);
     }
 
@@ -276,6 +394,53 @@ impl OramTree {
             "bucket overflow: {} blocks into Z={z}",
             blocks.len()
         );
+        let bidx = self.bucket_index(level, bucket);
+        if self.pristine() {
+            // Fast path: slots beyond the packed prefix are already the
+            // canonical empty pattern, so only `max(old_used, new_len)`
+            // slots are touched, and the new checksum folds straight from
+            // the incoming blocks plus the dummy tail — the written slots
+            // are never read back.
+            let old = self.used[bidx] as usize;
+            let new = blocks.len();
+            let base = self.layout.slot_index(level, bucket, 0);
+            for (slot, b) in self.slots[base..base + new].iter_mut().zip(blocks.iter()) {
+                debug_assert_eq!(
+                    self.layout.bucket_on_path(b.leaf, level),
+                    bucket,
+                    "block {} (leaf {}) does not belong to bucket {bucket} at level {level}",
+                    b.addr,
+                    b.leaf
+                );
+                *slot = Slot {
+                    addr: b.addr.0,
+                    leaf: b.leaf.0,
+                    payload: b.payload,
+                };
+            }
+            if old > new {
+                self.slots[base + new..base + old].fill(EMPTY_SLOT);
+            }
+            self.used[bidx] = new as u16;
+            self.used_per_level[level] += new as u64;
+            self.used_per_level[level] -= old as u64;
+            if self.integrity {
+                let mut h = 0xCBF2_9CE4_8422_2325u64;
+                for b in blocks.iter() {
+                    h = mix(h, b.addr.0);
+                    h = mix(h, b.leaf.0);
+                    h = mix(h, b.payload);
+                }
+                for _ in new..z as usize {
+                    h = mix(h, DUMMY);
+                    h = mix(h, 0);
+                    h = mix(h, 0);
+                }
+                self.sums[bidx] = h;
+            }
+            blocks.clear();
+            return;
+        }
         // Clear old contents first.
         let mut removed = 0u64;
         for s in 0..z {
@@ -302,6 +467,7 @@ impl OramTree {
             };
         }
         self.used_per_level[level] += blocks.len() as u64;
+        self.used[bidx] = blocks.len() as u16;
         blocks.clear();
         if !self.injected.is_empty() {
             // Overwriting a corrupted bucket destroys the corruption before

@@ -14,10 +14,13 @@
 //!   accesses. The TT index uses the paper's code: skip all-zeros, the root
 //!   is `0…01`, and level `l` bucket `b` gets code `(1 << l) | b`.
 
+use std::cell::RefCell;
+
 use serde::{Deserialize, Serialize};
 
 use iroram_hash::md5_u64;
 
+use crate::stash::AddrMap;
 use crate::{BlockAddr, StoredBlock, TreeLayout};
 
 /// Common interface of the two tree-top stores.
@@ -32,6 +35,13 @@ pub trait TreeTopStore {
     /// Removes and returns the real blocks of a cached bucket.
     fn take_bucket(&mut self, level: usize, bucket: u64) -> Vec<StoredBlock>;
 
+    /// [`TreeTopStore::take_bucket`] appending into a caller-provided
+    /// buffer. Implementations override this so the steady-state read path
+    /// moves no heap allocations.
+    fn take_bucket_into(&mut self, level: usize, bucket: u64, out: &mut Vec<StoredBlock>) {
+        out.extend(self.take_bucket(level, bucket));
+    }
+
     /// Stores `blocks` as the new contents of a cached bucket. Returns the
     /// blocks that could **not** be stored (S-Stash set conflicts); the
     /// caller returns them to the stash ("we skip picking this block for
@@ -39,8 +49,30 @@ pub trait TreeTopStore {
     fn write_bucket(&mut self, level: usize, bucket: u64, blocks: Vec<StoredBlock>)
         -> Vec<StoredBlock>;
 
+    /// [`TreeTopStore::write_bucket`] draining a caller-owned buffer;
+    /// rejected blocks are appended to `rejected` instead of returned.
+    /// Implementations override this so both vectors keep their capacity
+    /// across path accesses.
+    fn write_bucket_from(
+        &mut self,
+        level: usize,
+        bucket: u64,
+        blocks: &mut Vec<StoredBlock>,
+        rejected: &mut Vec<StoredBlock>,
+    ) {
+        rejected.extend(self.write_bucket(level, bucket, std::mem::take(blocks)));
+    }
+
     /// Non-destructive view of a cached bucket.
     fn peek_bucket(&self, level: usize, bucket: u64) -> Vec<StoredBlock>;
+
+    /// Whether a cached bucket currently holds `addr`. Semantically
+    /// `peek_bucket(..).iter().any(|b| b.addr == addr)`, but implementations
+    /// override it to scan their storage directly — path probes run this on
+    /// every cached level of every access, so it must not allocate.
+    fn bucket_contains(&self, level: usize, bucket: u64, addr: BlockAddr) -> bool {
+        self.peek_bucket(level, bucket).iter().any(|b| b.addr == addr)
+    }
 
     /// Whether a block could currently be stored into bucket
     /// `(level, bucket)`.
@@ -118,6 +150,11 @@ impl TreeTopStore for DedicatedTreeTop {
         std::mem::take(&mut self.buckets[node_code(level, bucket)])
     }
 
+    fn take_bucket_into(&mut self, level: usize, bucket: u64, out: &mut Vec<StoredBlock>) {
+        assert!(level < self.cached_levels);
+        out.append(&mut self.buckets[node_code(level, bucket)]);
+    }
+
     fn write_bucket(
         &mut self,
         level: usize,
@@ -133,8 +170,31 @@ impl TreeTopStore for DedicatedTreeTop {
         Vec::new()
     }
 
+    fn write_bucket_from(
+        &mut self,
+        level: usize,
+        bucket: u64,
+        blocks: &mut Vec<StoredBlock>,
+        _rejected: &mut Vec<StoredBlock>,
+    ) {
+        assert!(level < self.cached_levels);
+        assert!(
+            blocks.len() <= self.z[level] as usize,
+            "bucket overflow at level {level}"
+        );
+        let slot = &mut self.buckets[node_code(level, bucket)];
+        slot.clear();
+        slot.append(blocks);
+    }
+
     fn peek_bucket(&self, level: usize, bucket: u64) -> Vec<StoredBlock> {
         self.buckets[node_code(level, bucket)].clone()
+    }
+
+    fn bucket_contains(&self, level: usize, bucket: u64, addr: BlockAddr) -> bool {
+        self.buckets[node_code(level, bucket)]
+            .iter()
+            .any(|b| b.addr == addr)
     }
 
     fn can_accept(&self, level: usize, _bucket: u64, _block: &StoredBlock) -> bool {
@@ -228,6 +288,13 @@ pub struct IrStashTop {
     /// TT pointer table: node code → entry indices.
     tt: Vec<Vec<u32>>,
     z: Vec<u32>,
+    /// Memoized set indices (`addr → MD5(addr) % sets`). The modeled
+    /// hardware hashes each address once into its set wiring, but the
+    /// software model calls [`IrStashTop::set_of`] on every probe, accept
+    /// check and fill — recomputing a full MD5 compression each time
+    /// dominated S-Stash scheme runtime. The digest is a pure function of
+    /// the address, so caching it cannot change any result.
+    set_memo: RefCell<AddrMap<u32>>,
 }
 
 impl IrStashTop {
@@ -251,6 +318,7 @@ impl IrStashTop {
             entries: vec![None; sets * ways],
             tt: vec![Vec::new(); 1 << cached_levels],
             z: (0..cached_levels).map(|l| layout.z_of(l)).collect(),
+            set_memo: RefCell::new(AddrMap::default()),
         }
     }
 
@@ -261,7 +329,11 @@ impl IrStashTop {
 
     #[inline]
     fn set_of(&self, addr: BlockAddr) -> usize {
-        (md5_u64(addr.0) % self.sets as u64) as usize
+        *self
+            .set_memo
+            .borrow_mut()
+            .entry(addr.0)
+            .or_insert_with(|| (md5_u64(addr.0) % self.sets as u64) as u32) as usize
     }
 
     fn set_range(&self, set: usize) -> std::ops::Range<usize> {
@@ -281,16 +353,22 @@ impl TreeTopStore for IrStashTop {
     }
 
     fn take_bucket(&mut self, level: usize, bucket: u64) -> Vec<StoredBlock> {
+        let mut out = Vec::new();
+        self.take_bucket_into(level, bucket, &mut out);
+        out
+    }
+
+    fn take_bucket_into(&mut self, level: usize, bucket: u64, out: &mut Vec<StoredBlock>) {
         assert!(level < self.cached_levels);
-        let ptrs = std::mem::take(&mut self.tt[node_code(level, bucket)]);
-        ptrs.into_iter()
-            .map(|p| {
-                self.entries[p as usize]
-                    .take()
-                    .expect("TT pointer must reference a live entry")
-                    .block
-            })
-            .collect()
+        let code = node_code(level, bucket);
+        for i in 0..self.tt[code].len() {
+            let p = self.tt[code][i] as usize; // lint: allow(panic, i < tt[code].len() by the loop bound)
+            let e = self.entries[p] // lint: allow(panic, TT pointers index into entries by construction)
+                .take()
+                .expect("TT pointer must reference a live entry");
+            out.push(e.block);
+        }
+        self.tt[code].clear();
     }
 
     fn write_bucket(
@@ -328,6 +406,43 @@ impl TreeTopStore for IrStashTop {
         rejected
     }
 
+    fn write_bucket_from(
+        &mut self,
+        level: usize,
+        bucket: u64,
+        blocks: &mut Vec<StoredBlock>,
+        rejected: &mut Vec<StoredBlock>,
+    ) {
+        assert!(level < self.cached_levels);
+        assert!(
+            blocks.len() <= self.z[level] as usize,
+            "bucket overflow at level {level}"
+        );
+        let code = node_code(level, bucket);
+        // The caller always takes before writing; any leftover pointers are
+        // stale content being replaced. `tt[code]` is cleared in place so
+        // its capacity survives the path access.
+        for i in 0..self.tt[code].len() {
+            let p = self.tt[code][i] as usize;
+            self.entries[p] = None;
+        }
+        self.tt[code].clear();
+        for block in blocks.drain(..) {
+            let range = self.set_range(self.set_of(block.addr));
+            match (range.start..range.end).find(|&i| self.entries[i].is_none()) {
+                Some(free) => {
+                    self.entries[free] = Some(SEntry {
+                        block,
+                        level: level as u16,
+                        bucket,
+                    });
+                    self.tt[code].push(free as u32);
+                }
+                None => rejected.push(block),
+            }
+        }
+    }
+
     fn peek_bucket(&self, level: usize, bucket: u64) -> Vec<StoredBlock> {
         self.tt[node_code(level, bucket)]
             .iter()
@@ -337,6 +452,16 @@ impl TreeTopStore for IrStashTop {
                     .block
             })
             .collect()
+    }
+
+    fn bucket_contains(&self, level: usize, bucket: u64, addr: BlockAddr) -> bool {
+        self.tt[node_code(level, bucket)].iter().any(|&p| {
+            self.entries[p as usize]
+                .expect("TT pointer must reference a live entry")
+                .block
+                .addr
+                == addr
+        })
     }
 
     fn can_accept(&self, level: usize, _bucket: u64, block: &StoredBlock) -> bool {
@@ -585,6 +710,25 @@ mod tests {
         let l = layout();
         let top = IrStashTop::new(&l, 3, 8, 4);
         assert_eq!(top.capacity(), 32);
+    }
+
+    #[test]
+    fn bucket_contains_matches_peek_for_both_stores() {
+        let l = layout();
+        let mut ded = DedicatedTreeTop::new(&l, 3);
+        ded.write_bucket(2, 3, vec![blk(1, 28), blk(2, 31)]);
+        let mut ir = IrStashTop::new(&l, 3, 8, 4);
+        ir.write_bucket(2, 3, vec![blk(1, 28), blk(2, 31)]);
+        for top in [&ded as &dyn TreeTopStore, &ir as &dyn TreeTopStore] {
+            for addr in [1u64, 2, 3] {
+                assert_eq!(
+                    top.bucket_contains(2, 3, BlockAddr(addr)),
+                    top.peek_bucket(2, 3).iter().any(|b| b.addr == BlockAddr(addr)),
+                    "bucket_contains diverged from peek_bucket for addr {addr}"
+                );
+            }
+            assert!(!top.bucket_contains(2, 2, BlockAddr(1)), "wrong bucket");
+        }
     }
 
     #[test]

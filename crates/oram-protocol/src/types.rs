@@ -110,6 +110,145 @@ pub struct PathRecord {
     pub ptype: PathType,
 }
 
+/// A small list of [`PathRecord`]s with inline storage.
+///
+/// Every logical access returns its performed paths by value; a `Vec`
+/// here meant one heap allocation per access on the simulator's hottest
+/// boundary. A record is 16 bytes and an access performs at most
+/// `1 (data) + 2 (PosMap) + max_bg_evicts_per_access` paths, so the list
+/// stays inline in practice and only spills to the heap beyond
+/// [`PathList::INLINE`] entries. Dereferences to `[PathRecord]`, so slice
+/// reads (`first`, `len`, indexing, iteration) look exactly like the old
+/// `Vec` field.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct PathList {
+    len: u8,
+    inline: [PathRecord; Self::INLINE],
+    spill: Vec<PathRecord>,
+}
+
+impl PathList {
+    /// Inline capacity; pushes beyond this move the list to the heap.
+    pub const INLINE: usize = 12;
+
+    const FILLER: PathRecord = PathRecord {
+        leaf: Leaf(0),
+        ptype: PathType::Dummy,
+    };
+
+    /// An empty list (no allocation).
+    pub fn new() -> Self {
+        PathList {
+            len: 0,
+            inline: [Self::FILLER; Self::INLINE],
+            spill: Vec::new(),
+        }
+    }
+
+    /// A one-element list (no allocation).
+    pub fn one(rec: PathRecord) -> Self {
+        let mut l = Self::new();
+        l.push(rec);
+        l
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, rec: PathRecord) {
+        if !self.spill.is_empty() {
+            self.spill.push(rec);
+        } else if (self.len as usize) < Self::INLINE {
+            self.inline[self.len as usize] = rec;
+            self.len += 1;
+        } else {
+            // Spill: move everything to the heap and continue there.
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push(rec);
+            self.len = 0;
+        }
+    }
+
+    fn as_slice(&self) -> &[PathRecord] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl Default for PathList {
+    fn default() -> Self {
+        PathList::new()
+    }
+}
+
+impl std::ops::Deref for PathList {
+    type Target = [PathRecord];
+
+    fn deref(&self) -> &[PathRecord] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for PathList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+// Manual equality over the live prefix: the unused inline tail holds
+// stale filler that must not participate.
+impl PartialEq for PathList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PathList {}
+
+impl Extend<PathRecord> for PathList {
+    fn extend<T: IntoIterator<Item = PathRecord>>(&mut self, iter: T) {
+        for r in iter {
+            self.push(r);
+        }
+    }
+}
+
+impl IntoIterator for PathList {
+    type Item = PathRecord;
+    type IntoIter = PathListIter;
+
+    fn into_iter(self) -> PathListIter {
+        PathListIter { list: self, pos: 0 }
+    }
+}
+
+impl<'a> IntoIterator for &'a PathList {
+    type Item = &'a PathRecord;
+    type IntoIter = std::slice::Iter<'a, PathRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// By-value iterator over a [`PathList`].
+#[derive(Debug)]
+pub struct PathListIter {
+    list: PathList,
+    pos: usize,
+}
+
+impl Iterator for PathListIter {
+    type Item = PathRecord;
+
+    fn next(&mut self) -> Option<PathRecord> {
+        let r = self.list.as_slice().get(self.pos).copied();
+        self.pos += r.is_some() as usize;
+        r
+    }
+}
+
 /// Where a requested block was found.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ServedFrom {

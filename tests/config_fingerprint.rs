@@ -49,6 +49,7 @@ fn single_field_mutations() -> Vec<(&'static str, SystemConfig)> {
     push("faults", &|c| c.faults.seed ^= 1);
     push("refetch_lat", &|c| c.refetch_lat += 1);
     push("stash_hard_limit", &|c| c.stash_hard_limit += 1);
+    push("sched_threads", &|c| c.sched_threads += 1);
     out
 }
 
@@ -90,8 +91,9 @@ fn mutation_list_covers_every_field() {
         faults: _,
         refetch_lat: _,
         stash_hard_limit: _,
+        sched_threads: _,
     } = base();
-    assert_eq!(single_field_mutations().len(), 20);
+    assert_eq!(single_field_mutations().len(), 21);
 }
 
 #[test]

@@ -1,0 +1,118 @@
+//! Intra-run parallelism determinism: `sched_threads` (channel-parallel
+//! DRAM scheduling inside one simulation) and `--jobs` (cell-parallel
+//! experiment workers) must both be invisible in every reported number.
+//!
+//! The two knobs compose — a parallel cell worker can itself fan a batch
+//! out across scheduling workers — so this suite pins the full grid:
+//! every scheme reports byte-identically at `sched_threads ∈ {1, 2, 4}`
+//! × `jobs ∈ {1, 4}`, and random over-threshold batches produce the
+//! reference scheduler's exact completions whatever the worker count.
+//!
+//! The worker-count clamp (never more workers than host cores) is lifted
+//! via the test hook so the parallel dispatch + deterministic merge path
+//! really runs, even on a single-core CI host.
+
+use ir_oram::ALL_SCHEMES;
+use iroram_dram::{AddressMapping, DramConfig, DramSystem, Interleave, MemRequest};
+use iroram_experiments::runner::{run_scheme, ExpOptions};
+use iroram_sim_engine::Cycle;
+use iroram_trace::Bench;
+use proptest::prelude::*;
+
+const BENCHES: [Bench; 2] = [Bench::Mcf, Bench::Gcc];
+
+/// A small-but-real scale, with the scheduling worker count threaded
+/// through the same `--set` override path the CLI uses.
+fn tiny_opts(sched_threads: u32, jobs: usize) -> ExpOptions {
+    let mut o = ExpOptions::quick();
+    o.mem_ops = 1_500;
+    o.timed_levels = 10;
+    o.jobs = jobs;
+    o.overrides
+        .push(("sched_threads".to_owned(), sched_threads.to_string()));
+    o
+}
+
+#[test]
+fn every_scheme_reports_identically_at_any_thread_and_job_count() {
+    for scheme in ALL_SCHEMES {
+        // SimReport intentionally has no PartialEq; the Debug form covers
+        // every field of every nested stats struct.
+        let baseline = format!("{:?}", run_scheme(&tiny_opts(1, 1), scheme, &BENCHES));
+        for sched_threads in [1u32, 2, 4] {
+            for jobs in [1usize, 4] {
+                if (sched_threads, jobs) == (1, 1) {
+                    continue;
+                }
+                let got = format!(
+                    "{:?}",
+                    run_scheme(&tiny_opts(sched_threads, jobs), scheme, &BENCHES)
+                );
+                assert_eq!(
+                    baseline,
+                    got,
+                    "{} diverged at sched_threads={sched_threads} jobs={jobs}",
+                    scheme.name()
+                );
+            }
+        }
+    }
+}
+
+/// `splitmix64`: tiny, seedable, and good enough to scatter addresses.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A batch of exactly `n` requests whose addresses, kinds, and arrivals
+/// come from `seed`. Callers pick `n` at or above
+/// [`DramSystem::PARALLEL_MIN_BATCH`] so the parallel dispatch engages.
+fn random_batch(seed: &mut u64, n: usize) -> Vec<MemRequest> {
+    (0..n)
+        .map(|_| {
+            let addr = splitmix(seed) % 50_000;
+            let arrival = Cycle(splitmix(seed) % 400);
+            if splitmix(seed) & 1 == 1 {
+                MemRequest::write(addr, arrival)
+            } else {
+                MemRequest::read(addr, arrival)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_batches_match_the_reference_scheduler(
+        threads in 2u32..9,
+        extra in 0usize..192,
+        channels_pick in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let channels = [2u32, 4, 8][channels_pick];
+        let cfg = DramConfig {
+            mapping: AddressMapping::new(channels, 8, 128, Interleave::CacheLine),
+            ..DramConfig::default()
+        };
+        let mut par = DramSystem::new(cfg);
+        par.set_sched_threads(threads);
+        par.set_ignore_core_clamp(true);
+        let mut naive = DramSystem::new(cfg);
+        let mut stream = seed;
+        let n = DramSystem::PARALLEL_MIN_BATCH + extra;
+        for _ in 0..3 {
+            let batch = random_batch(&mut stream, n);
+            let a = par.schedule_batch(&batch);
+            let b = naive.schedule_batch_reference(&batch);
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(par.stats(), naive.stats());
+        prop_assert_eq!(par.latency_underflows(), naive.latency_underflows());
+    }
+}
