@@ -24,6 +24,47 @@ use iroram_sim_engine::profiler;
 /// `--quick` run may be before the ratchet fails the step (CI perf gate).
 const RATCHET_TOLERANCE: f64 = 0.10;
 
+/// Process exit code for a ratchet regression.
+const EXIT_REGRESSION: i32 = 1;
+
+/// Process exit code when the ratchet had no comparable baseline: the gate
+/// passed *vacuously*, which must not read as a green perf check. Distinct
+/// from [`EXIT_REGRESSION`] so CI can tell "got slower" from "measured
+/// nothing". The run's own entry is appended before the verdict, so the
+/// next run has a baseline and this self-heals.
+const EXIT_NO_BASELINE: i32 = 2;
+
+/// Verdict of the quick-scale perf ratchet, separated from process exit so
+/// the decision logic is unit-testable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ratchet {
+    /// Rate is at or above the tolerance floor of the prior recorded run.
+    Ok { prev: f64, floor: f64 },
+    /// Rate fell more than `RATCHET_TOLERANCE` below the prior run.
+    Regression { prev: f64, floor: f64 },
+    /// No prior entry at the same scale and job count: nothing was gated.
+    NoBaseline,
+}
+
+/// The ratchet decision: `None` when `scale` is not gated (only `--quick`
+/// is — it is the scale the CI perf-smoke step runs).
+fn ratchet_verdict(scale: &str, prior_rate: Option<f64>, rate: f64) -> Option<Ratchet> {
+    if scale != "quick" {
+        return None;
+    }
+    Some(match prior_rate {
+        None => Ratchet::NoBaseline,
+        Some(prev) => {
+            let floor = prev * (1.0 - RATCHET_TOLERANCE);
+            if rate < floor {
+                Ratchet::Regression { prev, floor }
+            } else {
+                Ratchet::Ok { prev, floor }
+            }
+        }
+    })
+}
+
 /// Short commit hash of the working tree, or `"unknown"` outside a checkout.
 fn git_commit() -> String {
     std::process::Command::new("git")
@@ -71,6 +112,11 @@ fn scale_name(opts: &ExpOptions) -> &'static str {
     ] {
         probe.jobs = base.jobs;
         probe.profile = base.profile;
+        // `--set` overrides don't demote a run to "custom": the config
+        // fingerprint in the history note (not the scale label) keys rate
+        // comparability, so an overridden quick run is still a quick run —
+        // and still ratchet-gated against its own baseline lineage.
+        probe.overrides = base.overrides.clone();
         if probe == base {
             return name;
         }
@@ -194,8 +240,22 @@ fn main() {
     let hist_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_history.jsonl");
     let scale = scale_name(&opts);
 
-    // Ratchet baseline: the most recent prior entry at the same scale and
-    // job count (other shapes are not rate-comparable).
+    let limit = opts.limit();
+    let mut cfg_fp = 0u64;
+    for scheme in ALL_SCHEMES {
+        for &bench in &benches {
+            cfg_fp = cfg_fp
+                .rotate_left(9)
+                .wrapping_add(fingerprint(&opts.system(scheme), bench, limit));
+        }
+    }
+    let fp_tag = format!("cfg-fp {cfg_fp:016x}");
+
+    // Ratchet baseline: the most recent prior entry at the same scale, job
+    // count, *and* config fingerprint. Other shapes are not
+    // rate-comparable — in particular, `--set` overrides that change the
+    // simulated workload (e.g. `pipeline_depth`) get their own baseline
+    // lineage instead of poisoning the default one.
     let prior_rate = std::fs::read_to_string(hist_path)
         .ok()
         .and_then(|hist| {
@@ -206,19 +266,12 @@ fn main() {
                 if field_f64(l, "jobs") != Some(jobs as f64) {
                     return None;
                 }
+                if !field_str(l, "note").is_some_and(|n| n.contains(&fp_tag)) {
+                    return None;
+                }
                 field_f64(l, "total_mem_ops_per_sec")
             })
         });
-
-    let limit = opts.limit();
-    let mut cfg_fp = 0u64;
-    for scheme in ALL_SCHEMES {
-        for &bench in &benches {
-            cfg_fp = cfg_fp
-                .rotate_left(9)
-                .wrapping_add(fingerprint(&opts.system(scheme), bench, limit));
-        }
-    }
     let epoch_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -241,26 +294,105 @@ fn main() {
     }
 
     // CI perf ratchet: a quick run that lands more than RATCHET_TOLERANCE
-    // below the previous recorded quick run fails the step. Only --quick is
-    // gated — it is the scale the perf-smoke step runs.
-    if scale == "quick" {
-        if let Some(prev) = prior_rate {
-            let floor = prev * (1.0 - RATCHET_TOLERANCE);
-            if total_rate < floor {
-                eprintln!(
-                    "perf ratchet: FAIL — {total_rate:.0} ops/s is more than \
-                     {:.0}% below the previous recorded run ({prev:.0} ops/s, \
-                     floor {floor:.0})",
-                    RATCHET_TOLERANCE * 100.0
-                );
-                std::process::exit(1);
-            }
+    // below the previous recorded quick run fails the step.
+    match ratchet_verdict(scale, prior_rate, total_rate) {
+        None => {}
+        Some(Ratchet::Ok { prev, floor }) => {
             println!(
                 "perf ratchet: ok — {total_rate:.0} ops/s vs previous {prev:.0} \
                  (floor {floor:.0})"
             );
-        } else {
-            println!("perf ratchet: no prior {scale}/jobs={jobs} entry to compare against");
         }
+        Some(Ratchet::Regression { prev, floor }) => {
+            eprintln!(
+                "perf ratchet: FAIL — {total_rate:.0} ops/s is more than \
+                 {:.0}% below the previous recorded run ({prev:.0} ops/s, \
+                 floor {floor:.0})",
+                RATCHET_TOLERANCE * 100.0
+            );
+            std::process::exit(EXIT_REGRESSION);
+        }
+        Some(Ratchet::NoBaseline) => {
+            eprintln!(
+                "perf ratchet: WARNING — no prior {scale}/jobs={jobs} entry in \
+                 BENCH_history.jsonl; the gate passed vacuously, not green. \
+                 This run was appended above, so the next run has a baseline. \
+                 Exiting {EXIT_NO_BASELINE} so CI cannot mistake an unmeasured \
+                 run for a passing one."
+            );
+            std::process::exit(EXIT_NO_BASELINE);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_overrides_do_not_demote_the_scale() {
+        let mut o = ExpOptions::quick();
+        assert_eq!(scale_name(&o), "quick");
+        // A `--set` run is still a quick run (its own cfg-fp lineage keys
+        // the ratchet baseline) — it must not escape the gate as "custom".
+        o.overrides
+            .push(("pipeline_depth".to_owned(), "4".to_owned()));
+        o.jobs = 1;
+        assert_eq!(scale_name(&o), "quick");
+        // A genuinely different shape still classifies as custom.
+        o.mem_ops += 1;
+        assert_eq!(scale_name(&o), "custom");
+    }
+
+    #[test]
+    fn ratchet_gates_only_quick_scale() {
+        assert_eq!(ratchet_verdict("standard", Some(100.0), 1.0), None);
+        assert_eq!(ratchet_verdict("full", None, 1.0), None);
+        assert!(ratchet_verdict("quick", Some(100.0), 100.0).is_some());
+    }
+
+    #[test]
+    fn ratchet_accepts_within_tolerance_and_fails_below() {
+        // 10% tolerance on a 100 ops/s baseline: floor is 90.
+        match ratchet_verdict("quick", Some(100.0), 91.0) {
+            Some(Ratchet::Ok { prev, floor }) => {
+                assert_eq!(prev, 100.0);
+                assert!((floor - 90.0).abs() < 1e-9);
+            }
+            other => panic!("expected Ok, got {other:?}"),
+        }
+        assert!(matches!(
+            ratchet_verdict("quick", Some(100.0), 89.0),
+            Some(Ratchet::Regression { .. })
+        ));
+        // Improvements obviously pass.
+        assert!(matches!(
+            ratchet_verdict("quick", Some(100.0), 250.0),
+            Some(Ratchet::Ok { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_baseline_is_distinct_from_both_pass_and_regression() {
+        let v = ratchet_verdict("quick", None, 1e9);
+        assert_eq!(v, Some(Ratchet::NoBaseline));
+        assert_ne!(EXIT_NO_BASELINE, 0, "vacuous pass must not exit 0");
+        assert_ne!(
+            EXIT_NO_BASELINE, EXIT_REGRESSION,
+            "CI must be able to tell 'got slower' from 'measured nothing'"
+        );
+    }
+
+    #[test]
+    fn history_field_scanners_parse_a_writer_line() {
+        let line = "{\"epoch_secs\": 1754600000, \"scale\": \"quick\", \
+                    \"jobs\": 4, \"total_mem_ops\": 936000, \
+                    \"total_wall_seconds\": 12.5, \
+                    \"total_mem_ops_per_sec\": 74880.0, \
+                    \"note\": \"commit abc, cfg-fp 00ff\"}";
+        assert_eq!(field_str(line, "scale"), Some("quick"));
+        assert_eq!(field_f64(line, "jobs"), Some(4.0));
+        assert_eq!(field_f64(line, "total_mem_ops_per_sec"), Some(74880.0));
+        assert_eq!(field_f64(line, "absent"), None);
     }
 }

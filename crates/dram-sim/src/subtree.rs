@@ -225,6 +225,23 @@ impl PathTable {
         self.path_len
     }
 
+    /// True when the paths to `leaf_a` and `leaf_b` touch at least one
+    /// common **memory-backed** bucket — the bucket-sharing condition a
+    /// k-deep access pipeline must treat as a conflict (two overlapped
+    /// accesses to a shared bucket would race on its slots).
+    ///
+    /// Sharing at any memory level implies sharing at the shallowest one
+    /// (paths that diverge never re-converge), so a single shift compare at
+    /// the first memory-backed row decides it. Levels above `from_level` or
+    /// with `Z = 0` live on-chip and cannot conflict; a fully on-chip table
+    /// reports no conflicts.
+    pub fn paths_share_memory_bucket(&self, leaf_a: u64, leaf_b: u64) -> bool {
+        match self.rows.first() {
+            Some(top) => (leaf_a >> top.shift) == (leaf_b >> top.shift),
+            None => false,
+        }
+    }
+
     /// Clears `out` and fills it with one read request per line on the
     /// path to `leaf`, all arriving at `arrival`, each address displaced by
     /// `offset` (ρ's small tree lives after the main tree's region).
@@ -394,6 +411,41 @@ mod tests {
                 assert!(out.iter().all(|r| !r.is_write && r.arrival == Cycle(7)));
             }
         }
+    }
+
+    #[test]
+    fn bucket_sharing_matches_address_intersection() {
+        // The shift-compare fast path must agree with literally
+        // intersecting the two paths' address sets, for every leaf pair.
+        let shapes: [(&[u32], u32, usize); 3] = [
+            (&[4, 4, 4, 4, 4], 2, 0),
+            (&[0, 0, 2, 4, 4], 2, 0),
+            (&[4; 6], 3, 2),
+        ];
+        for (z, g, from) in shapes {
+            let layout = SubtreeLayout::new(z, g);
+            let table = layout.path_table(from);
+            let leaves = 1u64 << (layout.levels() - 1);
+            for a in 0..leaves {
+                let sa: HashSet<u64> = layout.path_slots(a, from).into_iter().collect();
+                for b in 0..leaves {
+                    let sb: HashSet<u64> = layout.path_slots(b, from).into_iter().collect();
+                    let expect = !sa.is_disjoint(&sb);
+                    assert_eq!(
+                        table.paths_share_memory_bucket(a, b),
+                        expect,
+                        "leaves {a},{b} of {z:?} from {from}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fully_cached_table_never_conflicts() {
+        let layout = SubtreeLayout::new(&[4, 4, 4], 2);
+        let table = layout.path_table(3);
+        assert!(!table.paths_share_memory_bucket(0, 0));
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub fn fingerprint(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> u64 {
         refetch_lat,
         stash_hard_limit,
         sched_threads,
+        pipeline_depth,
     } = cfg;
     let key = format!(
         "scheme={scheme:?}|oram={oram:?}|hierarchy={hierarchy:?}|dram={dram:?}\
@@ -69,7 +70,7 @@ pub fn fingerprint(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> u64 {
          |subtree_group={subtree_group}|seed={seed}|audit={audit}\
          |faults={faults:?}|refetch_lat={refetch_lat}\
          |stash_hard_limit={stash_hard_limit}|sched_threads={sched_threads}\
-         |{bench:?}|{}",
+         |pipeline_depth={pipeline_depth}|{bench:?}|{}",
         limit.mem_ops
     );
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;

@@ -33,7 +33,7 @@
 
 use std::collections::BTreeMap;
 
-use iroram_sim_engine::Cycle;
+use iroram_sim_engine::{Cycle, FloorRing};
 
 /// How many violation messages are stored verbatim (the count is exact;
 /// only the sample list is capped).
@@ -61,15 +61,25 @@ impl AuditReport {
 }
 
 /// Per-controller audit state (see the module docs for the check list).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct AuditState {
     /// The functional oracle: block address → last known payload.
     oracle: BTreeMap<u64, u64>,
     /// Expected issue time of the next slot (None before the first slot or
     /// when timing protection is off).
     expected_slot: Option<Cycle>,
+    /// Independent re-derivation of the depth-`k` pacing floor: the audit
+    /// keeps its own ring of read-phase completions, so a pipelined
+    /// controller's schedule is validated against `(t + T).max(floor of
+    /// the access k slots back)` — which at depth 1 is exactly the serial
+    /// occupancy rule.
+    floors: FloorRing,
     /// DRAM latency underflows already reported (the counter is cumulative).
     seen_underflows: u64,
+    /// Lines the pipelined controller had deferred in its write buffer
+    /// after the previous slot (the conservation ledger's carry; 0
+    /// serially).
+    pending_write_lines: u64,
     /// Slots processed (drives the periodic structural sweep).
     slots: u64,
     checks: u64,
@@ -78,8 +88,20 @@ pub(crate) struct AuditState {
 }
 
 impl AuditState {
-    pub(crate) fn new() -> Self {
-        AuditState::default()
+    /// Audit state validating a depth-`pipeline_depth` schedule (pass the
+    /// controller's *effective* depth; `1` = the serial rule).
+    pub(crate) fn new(pipeline_depth: u32) -> Self {
+        AuditState {
+            oracle: BTreeMap::new(),
+            expected_slot: None,
+            floors: FloorRing::new(pipeline_depth),
+            seen_underflows: 0,
+            pending_write_lines: 0,
+            slots: 0,
+            checks: 0,
+            violations: 0,
+            samples: Vec::new(),
+        }
     }
 
     /// Records a failed check.
@@ -114,8 +136,10 @@ impl AuditState {
     }
 
     /// Timing-schedule check for a slot issued at `t`. `read_floor` is the
-    /// CPU-clock completion of this slot's read phase (the public occupancy
-    /// floor for the next slot). With `tp` off there is no schedule.
+    /// CPU-clock completion of this slot's read phase (the occupancy floor
+    /// binding the slot `depth` positions later under the pipelined pacing
+    /// rule; at depth 1, the floor for the very next slot). With `tp` off
+    /// there is no schedule.
     pub(crate) fn note_slot(&mut self, t: Cycle, t_interval: u64, read_floor: Cycle, tp: bool) {
         if !tp {
             self.expected_slot = None;
@@ -132,19 +156,29 @@ impl AuditState {
                 }
             }
         }
-        self.expected_slot = Some((t + t_interval).max(read_floor));
+        self.floors.push(read_floor);
+        self.expected_slot = Some((t + t_interval).max(self.floors.floor()));
     }
 
     /// DRAM-conservation check for one finished path: the path touched
     /// `got_lines` memory slots (`expected_lines` per the `ZAllocation`),
     /// the DRAM request counter grew by `dram_delta`, and the DRAM model has
     /// seen `underflows` completion-before-arrival events in total.
+    ///
+    /// `pending_lines` is the size of the write-back batch the pipelined
+    /// controller has deferred *after* this slot (always 0 serially). The
+    /// request-count identity becomes a running write ledger: each slot's
+    /// scheduled requests plus the change in deferred lines must equal one
+    /// read and one write per touched slot — so overlapped schedules are
+    /// held to the same conservation law, just shifted by the one batch
+    /// legitimately in the write buffer.
     pub(crate) fn check_conservation(
         &mut self,
         got_lines: u64,
         expected_lines: u64,
         dram_delta: u64,
         underflows: u64,
+        pending_lines: u64,
     ) {
         if got_lines == expected_lines {
             self.passed();
@@ -153,14 +187,17 @@ impl AuditState {
                 "conservation: path touched {got_lines} memory slots, Z allocation sums to {expected_lines}"
             ));
         }
-        if dram_delta == 2 * got_lines {
+        if dram_delta + pending_lines == 2 * got_lines + self.pending_write_lines {
             self.passed();
         } else {
             self.violation(format!(
-                "conservation: path issued {dram_delta} DRAM requests, expected {} (one read + one write per slot)",
+                "conservation: path issued {dram_delta} DRAM requests with {pending_lines} deferred \
+                 ({} were deferred before), expected one read + one write per touched slot ({})",
+                self.pending_write_lines,
                 2 * got_lines
             ));
         }
+        self.pending_write_lines = pending_lines;
         if underflows > self.seen_underflows {
             self.violation(format!(
                 "dram: {} request(s) completed before their arrival cycle",
@@ -206,7 +243,7 @@ mod tests {
 
     #[test]
     fn oracle_learns_then_detects_divergence() {
-        let mut a = AuditState::new();
+        let mut a = AuditState::new(1);
         a.oracle_read(7, 0xAB);
         a.oracle_read(7, 0xAB);
         assert_eq!(a.report().violations, 0);
@@ -222,7 +259,7 @@ mod tests {
 
     #[test]
     fn timing_audit_requires_exact_schedule() {
-        let mut a = AuditState::new();
+        let mut a = AuditState::new(1);
         let t = 100;
         a.note_slot(Cycle(100), t, Cycle(150), true);
         // Next slot must be max(100+100, 150) = 200.
@@ -235,8 +272,36 @@ mod tests {
     }
 
     #[test]
+    fn timing_audit_validates_overlapped_schedules_at_depth_two() {
+        // At depth 2 the floor comes from the access two slots back, so a
+        // slot may issue while the previous access's read is still in
+        // flight — and the serial rule would flag exactly that schedule.
+        let t = 100;
+        let mut deep = AuditState::new(2);
+        deep.note_slot(Cycle(100), t, Cycle(900), true);
+        // Slot 1's floor (900) does not bind slot 2 at depth 2.
+        deep.note_slot(Cycle(200), t, Cycle(950), true);
+        // Slot 3 is floored by slot 1's read completion (900).
+        deep.note_slot(Cycle(900), t, Cycle(1000), true);
+        assert_eq!(deep.report().violations, 0);
+        // The depth-2 schedule is exact, not a lower bound: slot 4 must
+        // issue at max(900 + T, slot 2's floor) = 1000, not earlier.
+        deep.note_slot(Cycle(940), t, Cycle(1100), true);
+        assert_eq!(deep.report().violations, 1);
+
+        let mut serial = AuditState::new(1);
+        serial.note_slot(Cycle(100), t, Cycle(900), true);
+        serial.note_slot(Cycle(200), t, Cycle(950), true);
+        assert_eq!(
+            serial.report().violations,
+            1,
+            "the serial rule rejects the overlapped schedule"
+        );
+    }
+
+    #[test]
     fn timing_audit_disabled_without_protection() {
-        let mut a = AuditState::new();
+        let mut a = AuditState::new(1);
         a.note_slot(Cycle(100), 100, Cycle(0), false);
         a.note_slot(Cycle(777), 100, Cycle(0), false);
         assert_eq!(a.report().checks, 0);
@@ -244,22 +309,40 @@ mod tests {
 
     #[test]
     fn conservation_audit_checks_both_ledgers() {
-        let mut a = AuditState::new();
-        a.check_conservation(36, 36, 72, 0);
+        let mut a = AuditState::new(1);
+        a.check_conservation(36, 36, 72, 0, 0);
         assert!(a.report().is_clean());
-        a.check_conservation(35, 36, 70, 0);
+        a.check_conservation(35, 36, 70, 0, 0);
         assert_eq!(a.report().violations, 1);
-        a.check_conservation(36, 36, 71, 0);
+        a.check_conservation(36, 36, 71, 0, 0);
         assert_eq!(a.report().violations, 2);
         // Underflows report once per new event, not per path.
-        a.check_conservation(36, 36, 72, 2);
-        a.check_conservation(36, 36, 72, 2);
+        a.check_conservation(36, 36, 72, 2, 0);
+        a.check_conservation(36, 36, 72, 2, 0);
         assert_eq!(a.report().violations, 3);
+    }
+
+    /// Pipelined conservation: the deferred write batch is a ledger carry,
+    /// not a loss — each slot's scheduled requests plus the carry change
+    /// must still equal one read + one write per touched slot.
+    #[test]
+    fn conservation_audit_carries_the_deferred_write_batch() {
+        let mut a = AuditState::new(4);
+        // First pipelined slot: 36 reads scheduled, all 36 writes deferred.
+        a.check_conservation(36, 36, 36, 0, 36);
+        assert!(a.report().is_clean());
+        // Steady state: 36 reads + the previous 36 writes land; 36 defer.
+        a.check_conservation(36, 36, 72, 0, 36);
+        assert!(a.report().is_clean());
+        // A dropped write batch (only the reads landed, nothing deferred)
+        // must trip the ledger.
+        a.check_conservation(36, 36, 36, 0, 0);
+        assert_eq!(a.report().violations, 1);
     }
 
     #[test]
     fn sample_list_is_capped_but_count_exact() {
-        let mut a = AuditState::new();
+        let mut a = AuditState::new(1);
         for i in 0..100 {
             a.violation(format!("v{i}"));
         }

@@ -136,6 +136,16 @@ pub struct SystemConfig {
     /// (`0` is clamped to serial at the scheduler).
     #[serde(default)]
     pub sched_threads: u32,
+    /// Access-pipeline depth of the timed controllers (`1` = serial, the
+    /// default): how many path accesses may be in flight at once. At depth
+    /// `k`, a slot's issue time is floored by the read completion of the
+    /// access `k` slots back instead of the immediately preceding one, the
+    /// next request's PosMap lookup is resolved speculatively, and two
+    /// in-flight paths that share memory-level buckets serialize at DRAM
+    /// (their blocks are held via the stash escrow). `0` is rejected at
+    /// `--set` parse time and clamped to `1` by the controllers.
+    #[serde(default)]
+    pub pipeline_depth: u32,
 }
 
 impl SystemConfig {
@@ -187,6 +197,7 @@ impl SystemConfig {
             refetch_lat: 100,
             stash_hard_limit: 0,
             sched_threads: 1,
+            pipeline_depth: 1,
         };
         base.with_scheme(scheme)
     }
@@ -307,7 +318,24 @@ impl SystemConfig {
             "audit" => self.audit = flag(key, value)?,
             "refetch_lat" => self.refetch_lat = num(key, value)?,
             "stash_hard_limit" => self.stash_hard_limit = num(key, value)?,
-            "sched_threads" => self.sched_threads = num(key, value)?,
+            "sched_threads" => {
+                let n: u32 = num(key, value)?;
+                if n == 0 {
+                    return Err(
+                        "--set sched_threads: must be >= 1 (1 = serial scheduling)".into()
+                    );
+                }
+                self.sched_threads = n;
+            }
+            "pipeline_depth" => {
+                let n: u32 = num(key, value)?;
+                if n == 0 {
+                    return Err(
+                        "--set pipeline_depth: must be >= 1 (1 = serial pipeline)".into()
+                    );
+                }
+                self.pipeline_depth = n;
+            }
             "oram" => {
                 return Err("--set oram: structured; use the scale flags or edit the config".into())
             }
@@ -455,6 +483,8 @@ mod tests {
         assert_eq!(cfg.effective_stash_hard_limit(), 4096);
         cfg.set_field("sched_threads", "4").unwrap();
         assert_eq!(cfg.sched_threads, 4);
+        cfg.set_field("pipeline_depth", "4").unwrap();
+        assert_eq!(cfg.pipeline_depth, 4);
         // scheme re-derives the ORAM matrix.
         cfg.set_field("scheme", "IR-ORAM").unwrap();
         assert_eq!(cfg.scheme, Scheme::IrOram);
@@ -464,6 +494,18 @@ mod tests {
         assert!(cfg.set_field("faults", "x").is_err());
         assert!(cfg.set_field("no_such_field", "1").is_err());
         assert!(cfg.set_field("seed", "not-a-number").is_err());
+    }
+
+    /// `--set sched_threads=0` used to slip past the scheduler's
+    /// `set_sched_threads` clamp (clamped-or-not depending on the entry
+    /// point); both zero-rejecting arms now fail at parse time instead.
+    #[test]
+    fn set_field_rejects_zero_for_clamped_knobs() {
+        let mut cfg = SystemConfig::scaled(Scheme::Baseline);
+        assert!(cfg.set_field("sched_threads", "0").is_err());
+        assert_eq!(cfg.sched_threads, 1, "rejected value must not be applied");
+        assert!(cfg.set_field("pipeline_depth", "0").is_err());
+        assert_eq!(cfg.pipeline_depth, 1, "rejected value must not be applied");
     }
 
     #[test]

@@ -9,6 +9,7 @@ use iroram_protocol::{BlockAddr, IntegrityStats, PathOram, PathRecord, RemapPoli
 use iroram_sim_engine::{profiler, ClockRatio, Cycle, FaultPlan, InjectedFaults};
 
 use crate::audit::{AuditReport, AuditState};
+use crate::pipeline::{self, PipelineState, PipelineStats};
 use crate::{DwbEngine, SimError, SystemConfig};
 
 /// Identifier of an in-flight ORAM request.
@@ -89,6 +90,10 @@ pub struct TimedController {
     /// Reused request buffer for path read/write-back batches: filled from
     /// `path_table` per path, rewritten in place for the write phase.
     reqs_buf: Vec<MemRequest>,
+    /// Pipelined mode's deferred write-back batch (the read-priority write
+    /// buffer): slot `i`'s writes wait here until slot `i+1`'s read batch
+    /// has been scheduled. Always empty at effective depth 1.
+    write_buf: Vec<MemRequest>,
     t_interval: u64,
     timing_protection: bool,
     clock: ClockRatio,
@@ -98,6 +103,9 @@ pub struct TimedController {
     queue: VecDeque<OramRequest>,
     wb_queue: VecDeque<BlockAddr>,
     current: Option<Work>,
+    /// The k-deep access pipeline; `None` at effective depth 1, where the
+    /// serial code paths run verbatim (see [`crate::pipeline`]).
+    pipe: Option<PipelineState>,
     dwb: Option<DwbEngine>,
     completions: Vec<(ReqId, Cycle)>,
     slot_stats: SlotStats,
@@ -154,6 +162,7 @@ impl TimedController {
             },
             path_table,
             reqs_buf: Vec::new(),
+            write_buf: Vec::new(),
             t_interval: cfg.t_interval,
             timing_protection: cfg.timing_protection,
             clock: cfg.clock,
@@ -163,11 +172,16 @@ impl TimedController {
             queue: VecDeque::new(),
             wb_queue: VecDeque::new(),
             current: None,
+            pipe: PipelineState::new(cfg.pipeline_depth),
             dwb,
             completions: Vec::new(),
             slot_stats: SlotStats::default(),
             last_write_done: Cycle::ZERO,
-            audit: cfg.audit.then(|| Box::new(AuditState::new())),
+            audit: cfg.audit.then(|| {
+                Box::new(AuditState::new(pipeline::effective_depth(
+                    cfg.pipeline_depth,
+                )))
+            }),
             faults: FaultPlan::new(&cfg.faults, cfg.seed ^ 0xFA01_7C01),
             refetch_lat: cfg.refetch_lat,
             stash_hard_limit: cfg.effective_stash_hard_limit(),
@@ -212,6 +226,11 @@ impl TimedController {
     /// IR-DWB statistics, if the engine is enabled.
     pub fn dwb_stats(&self) -> Option<crate::dwb::DwbStats> {
         self.dwb.as_ref().map(|d| *d.stats())
+    }
+
+    /// Pipeline counters, if the controller runs at effective depth > 1.
+    pub fn pipeline_stats(&self) -> Option<PipelineStats> {
+        self.pipe.as_ref().map(PipelineState::stats)
     }
 
     /// Integrity-layer counters (injected / detected / recovered /
@@ -369,6 +388,9 @@ impl TimedController {
         while self.has_real_work() {
             self.process_slot(hierarchy)?;
         }
+        // Pipelined: the last slot's write-back is still deferred — land it
+        // so the run's DRAM traffic and retirement time are complete.
+        self.flush_writes();
         Ok(self.last_write_done.max(self.next_slot))
     }
 
@@ -455,7 +477,7 @@ impl TimedController {
                     }
                     let rec = {
                         let _p = profiler::enter(profiler::Phase::Stash);
-                        self.protocol.data_access(req.addr, None)
+                        self.protocol.data_access(req.addr, None)?
                     };
                     if let Some(audit) = &mut self.audit {
                         audit.oracle_read(req.addr.0, rec.payload);
@@ -497,7 +519,7 @@ impl TimedController {
                     // entry) or already re-inserted; only escrowed blocks
                     // re-enter.
                     if self.protocol.is_escrowed(addr) {
-                        self.protocol.delayed_insert_block(addr);
+                        self.protocol.delayed_insert_block(addr)?;
                     }
                     continue;
                 }
@@ -523,7 +545,21 @@ impl TimedController {
             {
                 let req = self.queue.pop_front().expect("checked front");
                 let _p = profiler::enter(profiler::Phase::PosMap);
-                let pm = self.protocol.posmap_resolve(req.addr).into();
+                let pm = match self.pipe.as_mut().and_then(|p| p.take_spec(req.addr)) {
+                    Some(pm) => pm,
+                    None => self.protocol.posmap_resolve(req.addr).into(),
+                };
+                // Pipelined: resolve the next queued request's PosMap chain
+                // speculatively, so its first path can issue the moment a
+                // slot frees.
+                if let Some(pipe) = &mut self.pipe {
+                    if !pipe.has_spec() {
+                        if let Some(next_addr) = self.queue.front().map(|r| r.addr) {
+                            let spec = self.protocol.posmap_resolve(next_addr).into();
+                            pipe.set_spec(next_addr, spec);
+                        }
+                    }
+                }
                 self.current = Some(Work::Request { req, pm });
                 continue;
             }
@@ -546,14 +582,14 @@ impl TimedController {
             None => {
                 // Idle slot: IR-DWB conversion, else a dummy.
                 if let Some(mut dwb) = self.dwb.take() {
-                    if let Some(path) = dwb.try_convert(&mut self.protocol, hierarchy, t) {
-                        self.dwb = Some(dwb);
+                    let converted = dwb.try_convert(&mut self.protocol, hierarchy, t);
+                    self.dwb = Some(dwb);
+                    if let Some(path) = converted? {
                         self.slot_stats.total_slots += 1;
                         self.slot_stats.converted_slots += 1;
                         self.finish_path(t, path, None);
                         return Ok(());
                     }
-                    self.dwb = Some(dwb);
                 }
                 if self.timing_protection {
                     let path = {
@@ -593,6 +629,32 @@ impl TimedController {
         self.protocol.inject_tree_fault(level, bucket, slot, mask);
     }
 
+    /// Flushes the deferred write-back batch (pipelined mode) into the
+    /// memory controller, records the path as in flight for conflict
+    /// detection, and returns the write completion — `None` when nothing
+    /// was pending.
+    fn flush_writes(&mut self) -> Option<Cycle> {
+        let pending = self.pipe.as_mut()?.take_pending()?;
+        let write_done = self
+            .dram
+            .schedule_batch_done(&self.write_buf, pending.read_done);
+        self.write_buf.clear();
+        if let Some(pipe) = &mut self.pipe {
+            pipe.record(pending.leaf, pending.small_tree, write_done);
+        }
+        self.last_write_done = self
+            .last_write_done
+            .max(self.clock.slow_to_fast(write_done));
+        Some(write_done)
+    }
+
+    /// Lines of the deferred write-back batch still awaiting flush (0 in
+    /// serial mode). The DRAM request counter trails the slot count by
+    /// exactly this amount mid-run; [`TimedController::drain`] flushes it.
+    pub fn deferred_write_lines(&self) -> u64 {
+        self.write_buf.len() as u64
+    }
+
     /// Schedules the path's DRAM traffic and advances the slot clock.
     fn finish_path(&mut self, t: Cycle, path: PathRecord, completes: Option<ReqId>) {
         let _phase = profiler::enter(profiler::Phase::DramSchedule);
@@ -601,18 +663,55 @@ impl TimedController {
         // late; everything downstream (including the timing audit's floor)
         // sees the shifted completion.
         let stall = self.faults.as_mut().map_or(0, |p| p.bank_stall());
-        let arrival = self.clock.fast_to_slow(t) + stall;
+        let mut arrival = self.clock.fast_to_slow(t) + stall;
+        // Pipelined: a path sharing a memory bucket with the still-deferred
+        // write batch must let that batch land first (write-before-read on
+        // a shared bucket); one sharing with an older unretired in-flight
+        // path is held until its write-back retires. Either way the held
+        // path's blocks wait in the stash escrow / F-Stash meanwhile.
+        if self
+            .pipe
+            .as_mut()
+            .is_some_and(|p| p.pending_conflicts(&self.path_table, path.leaf.0, false))
+        {
+            if let Some(done) = self.flush_writes() {
+                arrival = arrival.max(done);
+            }
+        }
+        if let Some(pipe) = &mut self.pipe {
+            if let Some(hold) = pipe.conflict_hold(&self.path_table, path.leaf.0, false, arrival) {
+                arrival = hold;
+            }
+        }
         // Table fill into the reused buffer: the read batch, then the same
         // addresses rewritten in place as the write-back batch.
         self.path_table
             .fill_reads(path.leaf.0, 0, arrival, &mut self.reqs_buf);
         let lines = self.reqs_buf.len() as u64;
         let read_done = self.dram.schedule_batch_done(&self.reqs_buf, arrival);
-        for r in &mut self.reqs_buf {
-            r.is_write = true;
-            r.arrival = read_done;
-        }
-        let write_done = self.dram.schedule_batch_done(&self.reqs_buf, read_done);
+        let write_done = if self.pipe.is_some() {
+            // Read-priority write-back: flush the *previous* slot's writes
+            // now that this read has been scheduled (the read outranks them
+            // in the bank queues), then defer our own batch the same way.
+            self.flush_writes();
+            self.write_buf.clear();
+            self.write_buf.extend(self.reqs_buf.iter().map(|r| {
+                let mut w = *r;
+                w.is_write = true;
+                w.arrival = read_done;
+                w
+            }));
+            if let Some(pipe) = &mut self.pipe {
+                pipe.stash_write(path.leaf.0, false, read_done);
+            }
+            None
+        } else {
+            for r in &mut self.reqs_buf {
+                r.is_write = true;
+                r.arrival = read_done;
+            }
+            Some(self.dram.schedule_batch_done(&self.reqs_buf, read_done))
+        };
         // Re-fetch penalty: every corruption this path's read phase detected
         // and repaired stretches the read-phase completion — the public
         // occupancy floor — so recovery is a measured timing cost, not a
@@ -623,8 +722,10 @@ impl TimedController {
         self.penalty_cycles += penalty;
         let read_floor_cpu = self.clock.slow_to_fast(read_done) + penalty;
         let read_done_cpu = read_floor_cpu + self.decrypt_lat;
-        let write_done_cpu = self.clock.slow_to_fast(write_done);
-        self.last_write_done = self.last_write_done.max(write_done_cpu);
+        if let Some(wd) = write_done {
+            let write_done_cpu = self.clock.slow_to_fast(wd);
+            self.last_write_done = self.last_write_done.max(write_done_cpu);
+        }
         if let Some(id) = completes {
             self.completions.push((id, read_done_cpu));
         }
@@ -636,13 +737,19 @@ impl TimedController {
                 self.protocol.layout().path_len_memory(cached),
                 self.dram.stats().requests - req_before,
                 self.dram.latency_underflows(),
+                self.write_buf.len() as u64,
             );
         }
-        // Fixed rate with the occupancy constraint: the controller finishes
-        // a path's read phase before issuing the next path; the write phase
-        // drains through the memory controller in the background and
-        // contends with the next path's reads via DRAM bank/bus state.
-        self.next_slot = (t + self.t_interval).max(read_floor_cpu);
+        // Fixed rate with the occupancy constraint: serially, the
+        // controller finishes a path's read phase before issuing the next
+        // path; the write phase drains through the memory controller in the
+        // background and contends with the next path's reads via DRAM
+        // bank/bus state. Pipelined, the floor comes from the access
+        // `depth` slots back instead, so consecutive accesses overlap.
+        self.next_slot = match &mut self.pipe {
+            Some(pipe) => pipe.pace(t, self.t_interval, read_floor_cpu),
+            None => (t + self.t_interval).max(read_floor_cpu),
+        };
     }
 }
 

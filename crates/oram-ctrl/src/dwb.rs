@@ -12,6 +12,8 @@ use serde::{Deserialize, Serialize};
 use iroram_protocol::{BlockAddr, PathOram, PathRecord, PlbStatus};
 use iroram_sim_engine::{Cycle, SimRng};
 
+use crate::SimError;
+
 /// Statistics of the engine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DwbStats {
@@ -156,12 +158,18 @@ impl DwbEngine {
     /// Offers the engine a dummy slot at `now`. Returns the path access it
     /// converted the slot into, or `None` if no conversion was possible
     /// (the caller then issues a plain dummy path).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] if the victim's write-back is rejected by the
+    /// protocol (e.g. the line is unmapped) — a sequencing bug, not a
+    /// fault.
     pub fn try_convert(
         &mut self,
         protocol: &mut PathOram,
         hierarchy: &mut MemoryHierarchy,
         now: Cycle,
-    ) -> Option<PathRecord> {
+    ) -> Result<Option<PathRecord>, SimError> {
         // Bound the number of candidates examined per slot: hardware checks
         // one Ptr register, but on-chip serves can finish a candidate
         // without producing a path, letting us look once more.
@@ -180,10 +188,10 @@ impl DwbEngine {
                 }
                 (Some(_), None) => {
                     self.abort_sequence();
-                    return None;
+                    return Ok(None);
                 }
                 (None, Some(c)) => self.adopt(c),
-                (None, None) => return None,
+                (None, None) => return Ok(None),
             }
             let victim = self.victim.expect("just synced");
             // Derive the remaining work (the paper's Stage register) from
@@ -196,7 +204,7 @@ impl DwbEngine {
                     if !r.paths.is_empty() {
                         self.stats.converted_slots += 1;
                         self.stats.converted_posmap += 1;
-                        return Some(r.paths[0]);
+                        return Ok(Some(r.paths[0]));
                     }
                     continue; // resolved on-chip; advance to the next stage
                 }
@@ -206,26 +214,26 @@ impl DwbEngine {
                     if !r.paths.is_empty() {
                         self.stats.converted_slots += 1;
                         self.stats.converted_posmap += 1;
-                        return Some(r.paths[0]);
+                        return Ok(Some(r.paths[0]));
                     }
                     continue;
                 }
                 PlbStatus::Hit => {
                     // Stage 1: write the dirty line's data back via a normal
                     // (write) data access, then mark it clean.
-                    let r = protocol.data_access(victim, None);
+                    let r = protocol.data_access(victim, None)?;
                     hierarchy.llc_mark_clean(victim.0);
                     self.complete_sequence();
                     if let Some(&p) = r.paths.first() {
                         self.stats.converted_slots += 1;
                         self.stats.converted_data += 1;
-                        return Some(p);
+                        return Ok(Some(p));
                     }
                     continue; // served on-chip; slot still free, look again
                 }
             }
         }
-        None
+        Ok(None)
     }
 }
 
@@ -250,7 +258,7 @@ mod tests {
     fn no_dirty_lines_no_conversion() {
         let (mut p, mut h, mut e) = setup();
         h.access(1, false);
-        assert!(e.try_convert(&mut p, &mut h, Cycle(0)).is_none());
+        assert!(e.try_convert(&mut p, &mut h, Cycle(0)).unwrap().is_none());
         assert_eq!(e.stats().converted_slots, 0);
     }
 
@@ -276,7 +284,7 @@ mod tests {
         // Cold PLB: expect up to 2 posmap conversions + 1 data conversion.
         let mut got = Vec::new();
         for i in 0..6 {
-            if let Some(r) = e.try_convert(&mut p, &mut h, Cycle(i * 1000)) {
+            if let Some(r) = e.try_convert(&mut p, &mut h, Cycle(i * 1000)).unwrap() {
                 got.push(r.ptype);
             }
             if !h.llc_is_dirty(5) {

@@ -37,6 +37,17 @@ pub enum SimError {
         /// The configured data-block population.
         data_blocks: u64,
     },
+    /// The protocol rejected a block access (unmapped address, or an
+    /// escrow-policy violation): a controller sequencing bug surfaced as a
+    /// typed error instead of a protocol panic. Not transient — replaying
+    /// the same schedule reproduces it.
+    Protocol(iroram_protocol::AccessError),
+}
+
+impl From<iroram_protocol::AccessError> for SimError {
+    fn from(e: iroram_protocol::AccessError) -> Self {
+        SimError::Protocol(e)
+    }
 }
 
 impl SimError {
@@ -69,6 +80,7 @@ impl std::fmt::Display for SimError {
                 f,
                 "trace record {index} is malformed: address {addr:#x} outside the {data_blocks}-block population"
             ),
+            SimError::Protocol(e) => write!(f, "protocol rejected access: {e}"),
         }
     }
 }
@@ -94,6 +106,11 @@ mod tests {
             data_blocks: 1
         }
         .is_transient());
+        let escrow = SimError::from(iroram_protocol::AccessError::NotEscrowed(
+            iroram_protocol::BlockAddr(7),
+        ));
+        assert!(!escrow.is_transient());
+        assert!(escrow.to_string().contains("not escrowed"));
     }
 
     #[test]

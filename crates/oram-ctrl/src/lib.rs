@@ -42,6 +42,7 @@ mod controller;
 mod cpu;
 mod dwb;
 mod error;
+pub mod pipeline;
 mod rho;
 mod sim;
 

@@ -25,6 +25,7 @@ use iroram_protocol::{
 use iroram_sim_engine::{profiler, ClockRatio, Cycle, FaultPlan, InjectedFaults};
 
 use crate::audit::{AuditReport, AuditState};
+use crate::pipeline::{self, PipelineState, PipelineStats};
 use crate::{OramRequest, ReqId, SimError, SlotStats, StashPressure, SystemConfig};
 
 #[derive(Debug)]
@@ -71,6 +72,10 @@ pub struct RhoController {
     small_offset: u64,
     /// Reused path request buffer (reads rewritten in place into writes).
     reqs_buf: Vec<MemRequest>,
+    /// Pipelined mode's deferred write-back batch (read-priority write
+    /// buffer, shared by both trees — the slot schedule is one stream).
+    /// Always empty at effective depth 1.
+    write_buf: Vec<MemRequest>,
     /// small slot → resident data address.
     slots: Vec<Option<u64>>,
     /// data address → small slot.
@@ -88,6 +93,10 @@ pub struct RhoController {
     current_main: Option<MainWork>,
     small_queue: VecDeque<SmallWork>,
     current_small: Option<SmallWork>,
+    /// The k-deep access pipeline, shared across both trees' slots; `None`
+    /// at effective depth 1 (see [`crate::pipeline`]). ρ resolves PosMap
+    /// chains at submit time, so only pacing and conflict detection apply.
+    pipe: Option<PipelineState>,
     completions: Vec<(ReqId, Cycle)>,
     slot_stats: SlotStats,
     last_write_done: Cycle,
@@ -168,6 +177,7 @@ impl RhoController {
             small_table: small_layout.path_table(0),
             small_offset,
             reqs_buf: Vec::new(),
+            write_buf: Vec::new(),
             slots: vec![None; n_slots],
             directory: BTreeMap::new(),
             last_use: vec![0; n_slots],
@@ -183,13 +193,18 @@ impl RhoController {
             current_main: None,
             small_queue: VecDeque::new(),
             current_small: None,
+            pipe: PipelineState::new(cfg.pipeline_depth),
             completions: Vec::new(),
             slot_stats: SlotStats::default(),
             last_write_done: Cycle::ZERO,
             reuse_filter: BTreeSet::new(),
             reuse_order: VecDeque::new(),
             reuse_capacity: 2 * n_slots,
-            audit: cfg.audit.then(|| Box::new(AuditState::new())),
+            audit: cfg.audit.then(|| {
+                Box::new(AuditState::new(pipeline::effective_depth(
+                    cfg.pipeline_depth,
+                )))
+            }),
             faults: FaultPlan::new(&cfg.faults, cfg.seed ^ 0xFA01_7C01),
             refetch_lat: cfg.refetch_lat,
             stash_hard_limit: cfg.effective_stash_hard_limit(),
@@ -224,6 +239,11 @@ impl RhoController {
     /// Slot accounting.
     pub fn slot_stats(&self) -> &SlotStats {
         &self.slot_stats
+    }
+
+    /// Pipeline counters, if the controller runs at effective depth > 1.
+    pub fn pipeline_stats(&self) -> Option<PipelineStats> {
+        self.pipe.as_ref().map(PipelineState::stats)
     }
 
     /// Merged integrity counters of both trees.
@@ -423,6 +443,9 @@ impl RhoController {
         while self.has_real_work() {
             self.process_slot(hierarchy)?;
         }
+        // Pipelined: the last slot's write-back is still deferred — land it
+        // so the run's DRAM traffic and retirement time are complete.
+        self.flush_writes();
         Ok(self.last_write_done.max(self.next_slot))
     }
 
@@ -465,9 +488,9 @@ impl RhoController {
         let is_main = self.slot_idx.is_multiple_of(3);
         self.slot_idx += 1;
         let issued = if is_main {
-            self.main_slot(t)
+            self.main_slot(t)?
         } else {
-            self.small_slot(t)
+            self.small_slot(t)?
         };
         self.slot_stats.total_slots += 1;
         match issued {
@@ -513,7 +536,11 @@ impl RhoController {
     }
 
     /// Finds the path for a main-tree slot.
-    fn main_slot(&mut self, t: Cycle) -> Option<(PathRecord, bool, Option<ReqId>)> {
+    #[allow(clippy::type_complexity)]
+    fn main_slot(
+        &mut self,
+        t: Cycle,
+    ) -> Result<Option<(PathRecord, bool, Option<ReqId>)>, SimError> {
         loop {
             match self.current_main.take() {
                 Some(MainWork::Request {
@@ -531,7 +558,7 @@ impl RhoController {
                         }
                         self.current_main = Some(MainWork::Request { req, pm, install });
                         if let Some(&p) = rec.paths.first() {
-                            return Some((p, false, None));
+                            return Ok(Some((p, false, None)));
                         }
                         continue;
                     }
@@ -555,7 +582,7 @@ impl RhoController {
                     // pointer-chasing workloads.
                     let rec = {
                         let _p = profiler::enter(profiler::Phase::Stash);
-                        self.main.data_access(req.addr, None)
+                        self.main.data_access(req.addr, None)?
                     };
                     if let Some(audit) = &mut self.audit {
                         audit.oracle_read(req.addr.0, rec.payload);
@@ -567,10 +594,10 @@ impl RhoController {
                         // Not worth caching: send it straight back to the
                         // main tree (a free stash insert under delayed
                         // remapping — the PosMap is already resolved).
-                        self.main.delayed_insert_block(req.addr);
+                        self.main.delayed_insert_block(req.addr)?;
                     }
                     match rec.paths.first() {
-                        Some(&p) => return Some((p, false, completes)),
+                        Some(&p) => return Ok(Some((p, false, completes))),
                         None => {
                             if let Some(id) = completes {
                                 self.completions.push((id, t + self.front_hit_lat));
@@ -590,12 +617,12 @@ impl RhoController {
                         }
                         self.current_main = Some(MainWork::Wb { addr, pm });
                         if let Some(&p) = rec.paths.first() {
-                            return Some((p, false, None));
+                            return Ok(Some((p, false, None)));
                         }
                         continue;
                     }
                     if self.main.is_escrowed(addr) {
-                        self.main.delayed_insert_block(addr);
+                        self.main.delayed_insert_block(addr)?;
                     }
                     continue;
                 }
@@ -607,18 +634,22 @@ impl RhoController {
                     let _p = profiler::enter(profiler::Phase::Stash);
                     self.main.bg_evict_once()
                 };
-                return Some((path, false, None));
+                return Ok(Some((path, false, None)));
             }
             if let Some(work) = self.main_queue.pop_front() {
                 self.current_main = Some(work);
                 continue;
             }
-            return None;
+            return Ok(None);
         }
     }
 
     /// Finds the path for a small-tree slot.
-    fn small_slot(&mut self, t: Cycle) -> Option<(PathRecord, bool, Option<ReqId>)> {
+    #[allow(clippy::type_complexity)]
+    fn small_slot(
+        &mut self,
+        t: Cycle,
+    ) -> Result<Option<(PathRecord, bool, Option<ReqId>)>, SimError> {
         loop {
             match self.current_small.take() {
                 Some(SmallWork::Hit { req, slot, mut pm }) => {
@@ -629,17 +660,17 @@ impl RhoController {
                         };
                         self.current_small = Some(SmallWork::Hit { req, slot, pm });
                         if let Some(&p) = rec.paths.first() {
-                            return Some((p, true, None));
+                            return Ok(Some((p, true, None)));
                         }
                         continue;
                     }
                     let rec = {
                         let _p = profiler::enter(profiler::Phase::Stash);
-                        self.small.data_access(BlockAddr(slot), None)
+                        self.small.data_access(BlockAddr(slot), None)?
                     };
                     let completes = req.blocking.then_some(req.id);
                     match rec.paths.first() {
-                        Some(&p) => return Some((p, true, completes)),
+                        Some(&p) => return Ok(Some((p, true, completes))),
                         None => {
                             if let Some(id) = completes {
                                 self.completions.push((id, t + self.front_hit_lat));
@@ -656,16 +687,16 @@ impl RhoController {
                         };
                         self.current_small = Some(SmallWork::Install { slot, pm });
                         if let Some(&p) = rec.paths.first() {
-                            return Some((p, true, None));
+                            return Ok(Some((p, true, None)));
                         }
                         continue;
                     }
                     let rec = {
                         let _p = profiler::enter(profiler::Phase::Stash);
-                        self.small.data_access(BlockAddr(slot), None)
+                        self.small.data_access(BlockAddr(slot), None)?
                     };
                     match rec.paths.first() {
-                        Some(&p) => return Some((p, true, None)),
+                        Some(&p) => return Ok(Some((p, true, None))),
                         None => continue,
                     }
                 }
@@ -677,13 +708,13 @@ impl RhoController {
                     let _p = profiler::enter(profiler::Phase::Stash);
                     self.small.bg_evict_once()
                 };
-                return Some((path, true, None));
+                return Ok(Some((path, true, None)));
             }
             if let Some(work) = self.small_queue.pop_front() {
                 self.current_small = Some(work);
                 continue;
             }
-            return None;
+            return Ok(None);
         }
     }
 
@@ -722,6 +753,31 @@ impl RhoController {
         self.small_queue.push_back(SmallWork::Install { slot, pm });
     }
 
+    /// Flushes the deferred write-back batch (pipelined mode) into the
+    /// memory controller, records the path as in flight for conflict
+    /// detection, and returns the write completion — `None` when nothing
+    /// was pending.
+    fn flush_writes(&mut self) -> Option<Cycle> {
+        let pending = self.pipe.as_mut()?.take_pending()?;
+        let write_done = self
+            .dram
+            .schedule_batch_done(&self.write_buf, pending.read_done);
+        self.write_buf.clear();
+        if let Some(pipe) = &mut self.pipe {
+            pipe.record(pending.leaf, pending.small_tree, write_done);
+        }
+        self.last_write_done = self
+            .last_write_done
+            .max(self.clock.slow_to_fast(write_done));
+        Some(write_done)
+    }
+
+    /// Lines of the deferred write-back batch still awaiting flush (0 in
+    /// serial mode); [`RhoController::drain`] flushes it.
+    pub fn deferred_write_lines(&self) -> u64 {
+        self.write_buf.len() as u64
+    }
+
     /// Schedules a path's DRAM traffic (small-tree paths use the address
     /// region after the main tree).
     fn finish_path(
@@ -732,25 +788,68 @@ impl RhoController {
         completes: Option<ReqId>,
     ) {
         let _phase = profiler::enter(profiler::Phase::DramSchedule);
+        let table = if small_tree {
+            &self.small_table
+        } else {
+            &self.main_table
+        };
+        let req_before = self.dram.stats().requests;
+        // Transient bank stall (see `TimedController::finish_path`).
+        let stall = self.faults.as_mut().map_or(0, |p| p.bank_stall());
+        let mut arrival = self.clock.fast_to_slow(t) + stall;
+        // Pipelined: a path sharing a memory bucket with the still-deferred
+        // write batch flushes it first (write-before-read on a shared
+        // bucket); one sharing with an older unretired in-flight path of
+        // the same tree is held until its write-back retires (the trees
+        // occupy disjoint DRAM regions, so cross-tree paths never
+        // conflict).
+        if self
+            .pipe
+            .as_mut()
+            .is_some_and(|p| p.pending_conflicts(table, path.leaf.0, small_tree))
+        {
+            if let Some(done) = self.flush_writes() {
+                arrival = arrival.max(done);
+            }
+        }
         let (table, offset) = if small_tree {
             (&self.small_table, self.small_offset)
         } else {
             (&self.main_table, 0)
         };
-        let req_before = self.dram.stats().requests;
-        // Transient bank stall (see `TimedController::finish_path`).
-        let stall = self.faults.as_mut().map_or(0, |p| p.bank_stall());
-        let arrival = self.clock.fast_to_slow(t) + stall;
+        if let Some(pipe) = &mut self.pipe {
+            if let Some(hold) = pipe.conflict_hold(table, path.leaf.0, small_tree, arrival) {
+                arrival = hold;
+            }
+        }
         table.fill_reads(path.leaf.0, offset, arrival, &mut self.reqs_buf);
         let lines = self.reqs_buf.len() as u64;
         let read_done = self.dram.schedule_batch_done(&self.reqs_buf, arrival);
-        // Write-back touches the same lines: rewrite the batch in place
-        // rather than building a second request vector.
-        for r in &mut self.reqs_buf {
-            r.is_write = true;
-            r.arrival = read_done;
-        }
-        let write_done = self.dram.schedule_batch_done(&self.reqs_buf, read_done);
+        let write_done = if self.pipe.is_some() {
+            // Read-priority write-back (see `TimedController::finish_path`):
+            // flush the previous slot's deferred writes behind this read,
+            // then defer our own batch the same way.
+            self.flush_writes();
+            self.write_buf.clear();
+            self.write_buf.extend(self.reqs_buf.iter().map(|r| {
+                let mut w = *r;
+                w.is_write = true;
+                w.arrival = read_done;
+                w
+            }));
+            if let Some(pipe) = &mut self.pipe {
+                pipe.stash_write(path.leaf.0, small_tree, read_done);
+            }
+            None
+        } else {
+            // Write-back touches the same lines: rewrite the batch in place
+            // rather than building a second request vector.
+            for r in &mut self.reqs_buf {
+                r.is_write = true;
+                r.arrival = read_done;
+            }
+            Some(self.dram.schedule_batch_done(&self.reqs_buf, read_done))
+        };
         // Re-fetch penalty for corruption detected by this path's read
         // phase (see `TimedController::finish_path`).
         let detected = self.integrity_stats().detected;
@@ -759,8 +858,10 @@ impl RhoController {
         self.penalty_cycles += penalty;
         let read_floor_cpu = self.clock.slow_to_fast(read_done) + penalty;
         let read_done_cpu = read_floor_cpu + self.decrypt_lat;
-        let write_done_cpu = self.clock.slow_to_fast(write_done);
-        self.last_write_done = self.last_write_done.max(write_done_cpu);
+        if let Some(wd) = write_done {
+            let write_done_cpu = self.clock.slow_to_fast(wd);
+            self.last_write_done = self.last_write_done.max(write_done_cpu);
+        }
         if let Some(id) = completes {
             self.completions.push((id, read_done_cpu));
         }
@@ -777,11 +878,16 @@ impl RhoController {
                 expected,
                 self.dram.stats().requests - req_before,
                 self.dram.latency_underflows(),
+                self.write_buf.len() as u64,
             );
         }
         // See `TimedController::finish_path`: pace on the read phase; the
-        // write phase overlaps the next path through DRAM state.
-        self.next_slot = (t + self.t_interval).max(read_floor_cpu);
+        // write phase overlaps the next path through DRAM state. Both
+        // trees' slots share one schedule, so one pipeline paces them all.
+        self.next_slot = match &mut self.pipe {
+            Some(pipe) => pipe.pace(t, self.t_interval, read_floor_cpu),
+            None => (t + self.t_interval).max(read_floor_cpu),
+        };
     }
 }
 

@@ -60,6 +60,47 @@ impl TreeTopMode {
     }
 }
 
+/// A rejected block access: the caller asked the protocol for something its
+/// escrow/translation state cannot serve. These used to be controller
+/// panics; surfacing them as values lets the timed controllers propagate
+/// them as a typed `SimError` instead of aborting the whole experiment
+/// process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessError {
+    /// The address has no PosMap mapping — it is escrowed (delayed remap
+    /// discards the mapping at access time; front stores must serve it) or
+    /// was never part of the address space.
+    Unmapped(BlockAddr),
+    /// [`PathOram::delayed_insert_block`] was asked to re-insert a block
+    /// that is not in the escrow.
+    NotEscrowed(BlockAddr),
+    /// [`PathOram::delayed_insert_block`] was called under a remap policy
+    /// other than [`RemapPolicy::Delayed`] (there is no escrow to drain).
+    WrongPolicy(BlockAddr),
+}
+
+impl std::fmt::Display for AccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessError::Unmapped(a) => write!(
+                f,
+                "block {:#x} is unmapped (escrowed blocks are served by front_access)",
+                a.0
+            ),
+            AccessError::NotEscrowed(a) => {
+                write!(f, "block {:#x} is not escrowed", a.0)
+            }
+            AccessError::WrongPolicy(a) => write!(
+                f,
+                "delayed insert of block {:#x} needs the delayed remap policy",
+                a.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
 /// When accessed blocks get remapped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RemapPolicy {
@@ -480,7 +521,9 @@ impl PathOram {
             let rec = self.fetch_posmap_block(pm);
             paths.extend(rec.paths);
         }
-        let data = self.data_access(addr, write);
+        let data = self
+            .data_access(addr, write)
+            .expect("run_access serves escrowed blocks via front_access");
         paths.extend(data.paths.iter().copied());
         paths.extend(self.drain_bg());
         AccessRecord {
@@ -555,7 +598,9 @@ impl PathOram {
             BlockKind::PosMap2 => PathType::Pos2,
             BlockKind::Data => panic!("fetch_posmap_block takes PosMap addresses"),
         };
-        let rec = self.block_access(pm_addr, ptype, RemapAction::Remap, None);
+        let rec = self
+            .block_access(pm_addr, ptype, RemapAction::Remap, None)
+            .expect("PosMap blocks are always mapped (never escrowed)");
         self.posmap.plb_fill(pm_addr);
         rec
     }
@@ -564,11 +609,15 @@ impl PathOram {
     /// (PosMap resolved). May return zero paths when the block is found in
     /// the tree-top store or stash.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `addr` is unmapped (escrowed blocks are served by
-    /// [`PathOram::front_access`]).
-    pub fn data_access(&mut self, addr: BlockAddr, write: Option<u64>) -> AccessRecord {
+    /// [`AccessError::Unmapped`] if `addr` has no PosMap mapping (escrowed
+    /// blocks are served by [`PathOram::front_access`]).
+    pub fn data_access(
+        &mut self,
+        addr: BlockAddr,
+        write: Option<u64>,
+    ) -> Result<AccessRecord, AccessError> {
         let action = match self.cfg.remap {
             RemapPolicy::Immediate => RemapAction::Remap,
             RemapPolicy::Delayed => RemapAction::UnmapEscrow,
@@ -613,19 +662,18 @@ impl PathOram {
     /// access happens here — the block enters the stash with a fresh leaf
     /// and sinks on later paths.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the policy is not delayed or the block is not escrowed.
-    pub fn delayed_insert_block(&mut self, addr: BlockAddr) {
-        assert_eq!(
-            self.cfg.remap,
-            RemapPolicy::Delayed,
-            "delayed_insert_block needs the delayed policy"
-        );
+    /// [`AccessError::WrongPolicy`] if the policy is not delayed,
+    /// [`AccessError::NotEscrowed`] if the block is not escrowed.
+    pub fn delayed_insert_block(&mut self, addr: BlockAddr) -> Result<(), AccessError> {
+        if self.cfg.remap != RemapPolicy::Delayed {
+            return Err(AccessError::WrongPolicy(addr));
+        }
         let payload = self
             .escrow
             .remove(&addr.0)
-            .expect("block must be escrowed");
+            .ok_or(AccessError::NotEscrowed(addr))?;
         let leaf = self.posmap.remap(addr, &mut self.rng);
         self.stash.insert(StoredBlock {
             addr,
@@ -633,22 +681,27 @@ impl PathOram {
             payload,
         });
         self.stats.delayed_inserts += 1;
+        Ok(())
     }
 
     /// Full delayed write-back convenience (PosMap resolution + insertion),
     /// returning the PosMap paths it generated.
-    pub fn delayed_writeback(&mut self, addr: BlockAddr) -> AccessRecord {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PathOram::delayed_insert_block`]'s errors.
+    pub fn delayed_writeback(&mut self, addr: BlockAddr) -> Result<AccessRecord, AccessError> {
         let mut paths = PathList::new();
         for pm in self.posmap_resolve(addr) {
             paths.extend(self.fetch_posmap_block(pm).paths);
         }
-        self.delayed_insert_block(addr);
+        self.delayed_insert_block(addr)?;
         paths.extend(self.drain_bg());
-        AccessRecord {
+        Ok(AccessRecord {
             paths,
             served: ServedFrom::Escrow,
             payload: 0,
-        }
+        })
     }
 
     // ------------------------------------------------------------------
@@ -734,7 +787,7 @@ impl PathOram {
         ptype: PathType,
         action: RemapAction,
         write: Option<u64>,
-    ) -> AccessRecord {
+    ) -> Result<AccessRecord, AccessError> {
         // The ORAM controller always searches the stash first.
         if self.stash.contains(addr) {
             return self.serve_from_stash(addr, action, write);
@@ -763,17 +816,17 @@ impl PathOram {
                 }
                 self.stats.sstash_hits += 1;
                 self.stats.served_level[level] += 1;
-                return AccessRecord {
+                return Ok(AccessRecord {
                     paths: PathList::new(),
                     served: ServedFrom::SStash,
                     payload,
-                };
+                });
             }
         }
         let leaf = self
             .posmap
             .leaf_of(addr)
-            .expect("escrowed blocks are served by front_access");
+            .ok_or(AccessError::Unmapped(addr))?;
         // Tree-top probe: with top levels on-chip, the controller checks
         // them before generating any memory traffic ("we will not start
         // off-chip memory accesses until we know if the requested block is
@@ -783,19 +836,19 @@ impl PathOram {
             if let Some((level, payload)) = self.top_path_probe(leaf, addr, write) {
                 self.stats.treetop_hits += 1;
                 self.stats.served_level[level] += 1;
-                return AccessRecord {
+                return Ok(AccessRecord {
                     paths: PathList::new(),
                     served: ServedFrom::TreeTop { level },
                     payload,
-                };
+                });
             }
         }
         let (rec, served, payload) = self.path_access(leaf, Some(addr), ptype, action, write);
-        AccessRecord {
+        Ok(AccessRecord {
             paths: PathList::one(rec),
             served: served.expect("targeted path access reports a source"),
             payload,
-        }
+        })
     }
 
     fn serve_from_stash(
@@ -803,12 +856,14 @@ impl PathOram {
         addr: BlockAddr,
         action: RemapAction,
         write: Option<u64>,
-    ) -> AccessRecord {
+    ) -> Result<AccessRecord, AccessError> {
         self.stats.served_stash += 1;
         self.stats.fstash_hits += 1;
         let payload = match action {
             RemapAction::Remap => {
-                let b = self.stash.get_mut(addr).expect("caller checked residence");
+                let Some(b) = self.stash.get_mut(addr) else {
+                    return Err(AccessError::Unmapped(addr));
+                };
                 let payload = b.payload;
                 if let Some(v) = write {
                     b.payload = v;
@@ -816,17 +871,19 @@ impl PathOram {
                 payload
             }
             RemapAction::UnmapEscrow => {
-                let b = self.stash.take(addr).expect("caller checked residence");
+                let Some(b) = self.stash.take(addr) else {
+                    return Err(AccessError::Unmapped(addr));
+                };
                 self.posmap.unmap(addr);
                 self.escrow.insert(addr.0, write.unwrap_or(b.payload));
                 b.payload
             }
         };
-        AccessRecord {
+        Ok(AccessRecord {
             paths: PathList::new(),
             served: ServedFrom::FStash,
             payload,
-        }
+        })
     }
 
     /// Probes the on-chip top portion of the path to `leaf` for `addr`;
@@ -1179,10 +1236,36 @@ mod tests {
         assert_eq!(rec.payload, 99);
         assert!(rec.paths.is_empty());
         // LLC evicts it: write-back re-inserts with a fresh mapping.
-        oram.delayed_writeback(BlockAddr(5));
+        oram.delayed_writeback(BlockAddr(5)).unwrap();
         assert!(oram.posmap().is_mapped(BlockAddr(5)));
         assert!(!oram.escrowed().any(|a| a == BlockAddr(5)));
         assert_eq!(oram.read(5), 99);
+    }
+
+    /// The documented escrow misuses are typed errors, not panics: a
+    /// delayed insert of a non-escrowed block, a delayed insert under the
+    /// immediate policy, and a data access to an unmapped (escrowed) block.
+    #[test]
+    fn escrow_misuse_is_a_typed_error() {
+        let mut oram = tiny_with(TreeTopMode::Dedicated { levels: 3 }, RemapPolicy::Delayed);
+        assert_eq!(
+            oram.delayed_insert_block(BlockAddr(5)),
+            Err(AccessError::NotEscrowed(BlockAddr(5)))
+        );
+        oram.write(5, 1); // escrows block 5, unmapping it
+        assert_eq!(
+            oram.data_access(BlockAddr(5), None).unwrap_err(),
+            AccessError::Unmapped(BlockAddr(5))
+        );
+        let mut imm = tiny_with(TreeTopMode::Dedicated { levels: 3 }, RemapPolicy::Immediate);
+        assert_eq!(
+            imm.delayed_insert_block(BlockAddr(5)),
+            Err(AccessError::WrongPolicy(BlockAddr(5)))
+        );
+        assert_eq!(
+            imm.delayed_writeback(BlockAddr(5)).unwrap_err(),
+            AccessError::WrongPolicy(BlockAddr(5))
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ mod tree;
 mod types;
 mod zalloc;
 
-pub use controller::{AccessRecord, OramConfig, PathOram, ProtocolStats, RemapPolicy, TreeTopMode};
+pub use controller::{
+    AccessError, AccessRecord, OramConfig, PathOram, ProtocolStats, RemapPolicy, TreeTopMode,
+};
 pub use invariants::InvariantError;
 pub use layout::TreeLayout;
 pub use posmap::{AddressSpace, PlbStatus, PosMapSystem, ENTRIES_PER_BLOCK};

@@ -33,6 +33,7 @@
 mod cycles;
 mod events;
 mod faults;
+mod pipeline;
 pub mod profiler;
 mod rng;
 pub mod stats;
@@ -40,4 +41,5 @@ pub mod stats;
 pub use cycles::{ClockRatio, Cycle};
 pub use events::EventQueue;
 pub use faults::{FaultConfig, FaultPlan, InjectedFaults};
+pub use pipeline::FloorRing;
 pub use rng::SimRng;

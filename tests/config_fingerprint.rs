@@ -50,6 +50,7 @@ fn single_field_mutations() -> Vec<(&'static str, SystemConfig)> {
     push("refetch_lat", &|c| c.refetch_lat += 1);
     push("stash_hard_limit", &|c| c.stash_hard_limit += 1);
     push("sched_threads", &|c| c.sched_threads += 1);
+    push("pipeline_depth", &|c| c.pipeline_depth += 1);
     out
 }
 
@@ -92,8 +93,9 @@ fn mutation_list_covers_every_field() {
         refetch_lat: _,
         stash_hard_limit: _,
         sched_threads: _,
+        pipeline_depth: _,
     } = base();
-    assert_eq!(single_field_mutations().len(), 21);
+    assert_eq!(single_field_mutations().len(), 22);
 }
 
 #[test]

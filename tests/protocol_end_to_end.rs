@@ -95,7 +95,7 @@ fn delayed_remap_lifecycle_is_consistent() {
     let escrowed: Vec<BlockAddr> = oram.escrowed().collect();
     assert!(!escrowed.is_empty());
     for a in escrowed {
-        oram.delayed_writeback(a);
+        oram.delayed_writeback(a).unwrap();
     }
     assert_eq!(oram.escrowed().count(), 0);
     oram.check_invariants().unwrap();

@@ -54,6 +54,99 @@ fn every_scheme_reports_identically_under_the_reference_scheduler() {
     }
 }
 
+/// The access-pipeline analogue of the scheduler twin: a controller
+/// configured at depth 1 must report byte-identically to the serial twin
+/// (`ir_oram::pipeline::serial::force`, which pins the pre-pipeline code
+/// path even under a deep config), across worker-pool sizes and DRAM
+/// scheduler thread counts — depth, `--jobs`, and `sched_threads` are all
+/// orthogonal to reported results at depth 1.
+#[test]
+fn depth_one_matches_the_serial_pipeline_twin_at_any_parallelism() {
+    use ir_oram::pipeline::serial;
+    use ir_oram::Scheme;
+
+    let opts = tiny_opts();
+    // Rho covers the dual-tree controller; IrOram covers DWB + the rest.
+    for scheme in [Scheme::Baseline, Scheme::Rho, Scheme::IrOram] {
+        // The twin: even a depth-4 config must come out serial while the
+        // force switch is on (jobs = 1 — the switch is thread-local).
+        let mut twin_opts = opts.clone();
+        twin_opts
+            .overrides
+            .push(("pipeline_depth".to_owned(), "4".to_owned()));
+        serial::force(true);
+        let twin = run_scheme(&twin_opts, scheme, &BENCHES);
+        serial::force(false);
+        let twin_repr = format!("{twin:?}");
+
+        for jobs in [1usize, 4] {
+            for sched_threads in [1u32, 4] {
+                let mut o = opts.clone();
+                o.jobs = jobs;
+                o.overrides
+                    .push(("pipeline_depth".to_owned(), "1".to_owned()));
+                o.overrides
+                    .push(("sched_threads".to_owned(), sched_threads.to_string()));
+                let got = run_scheme(&o, scheme, &BENCHES);
+                assert_eq!(
+                    format!("{got:?}"),
+                    twin_repr,
+                    "scheme {} diverged from the serial twin at depth 1 \
+                     (jobs={jobs}, sched_threads={sched_threads})",
+                    scheme.name()
+                );
+            }
+        }
+    }
+}
+
+/// The pipeline's reason to exist: in the service-bound regime the
+/// read-phase floor, not `T`, paces the controller, so letting the floor
+/// come from `depth` slots back — with the write-back batch deferred
+/// behind the next read — must shorten a memory-bound (queue-saturated)
+/// request stream. A serially dependent pointer-chase sees no benefit
+/// (each access waits for the previous one's data), which is why this
+/// measures a saturated queue rather than a blocking trace replay.
+#[test]
+fn depth_four_shortens_memory_bound_execution() {
+    use ir_oram::{OramRequest, Scheme, SystemConfig, TimedController};
+    use iroram_cache::MemoryHierarchy;
+    use iroram_protocol::BlockAddr;
+    use iroram_sim_engine::Cycle;
+
+    let drain_time = |depth: u32| {
+        let mut cfg = SystemConfig::scaled(Scheme::Baseline);
+        cfg.oram.levels = 11;
+        cfg.oram.data_blocks = 1 << 12;
+        cfg.oram.zalloc = iroram_protocol::ZAllocation::uniform(11, 4);
+        cfg.oram.treetop = iroram_protocol::TreeTopMode::Dedicated { levels: 4 };
+        cfg.pipeline_depth = depth;
+        let cfg = cfg.with_scheme(Scheme::Baseline);
+        let mut ctl = TimedController::new(&cfg);
+        let mut h = MemoryHierarchy::new(cfg.hierarchy);
+        let mut id = 0;
+        for a in (0..4096u64).step_by(7) {
+            if ctl.front_try(BlockAddr(a), Cycle(0)).is_none() {
+                id += 1;
+                ctl.submit(OramRequest {
+                    id,
+                    addr: BlockAddr(a),
+                    arrival: Cycle(0),
+                    blocking: false,
+                });
+            }
+        }
+        ctl.drain(&mut h).expect("drain").raw()
+    };
+
+    let serial = drain_time(1);
+    let pipelined = drain_time(4);
+    assert!(
+        pipelined < serial,
+        "depth 4 must overlap accesses: {pipelined} vs serial {serial} cycles to drain"
+    );
+}
+
 /// splitmix64 — expands one proptest-drawn seed into a whole batch stream
 /// (the vendored proptest shim only draws scalars).
 fn splitmix(state: &mut u64) -> u64 {
