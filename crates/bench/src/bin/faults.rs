@@ -96,27 +96,37 @@ fn main() {
     };
     opts.audit = true;
 
-    let cells: Vec<(Scheme, Bench)> = SCHEMES
+    // Every cell runs at access-pipeline depths 1 and 4: fault recovery
+    // (re-fetch penalties, storm throttling, record rejection) must hold
+    // under the k-deep overlapped schedule, not just the serial one.
+    let cells: Vec<(Scheme, Bench, u32)> = SCHEMES
         .iter()
-        .flat_map(|&s| BENCHES.iter().map(move |&b| (s, b)))
+        .flat_map(|&s| {
+            BENCHES
+                .iter()
+                .flat_map(move |&b| [1u32, 4].into_iter().map(move |d| (s, b, d)))
+        })
         .collect();
-    let results = par_map(opts.effective_jobs(), cells, |(scheme, bench)| {
+    let results = par_map(opts.effective_jobs(), cells, |(scheme, bench, depth)| {
         // Clean twin first, then the faulted run of the same cell.
-        let clean_cfg = opts.system(scheme);
+        let mut clean_cfg = opts.system(scheme);
+        clean_cfg.pipeline_depth = depth;
         let clean = run_cell_checked(&clean_cfg, bench, opts.limit())
             .unwrap_or_else(|e| panic!("clean run: {e}"));
         let mut cfg = opts.system(scheme);
+        cfg.pipeline_depth = depth;
         cfg.faults = faults.clone();
         let faulted = run_cell_checked(&cfg, bench, opts.limit())
             .unwrap_or_else(|e| panic!("faulted run: {e}"));
-        (scheme, bench, clean, faulted)
+        (scheme, bench, depth, clean, faulted)
     });
 
     let mut failures = 0u64;
     println!(
-        "{:<10} {:<14} {:>9} {:>9} {:>11} {:>7} {:>7} {:>9} {:>9} {:>9}",
+        "{:<10} {:<14} {:>5} {:>9} {:>9} {:>11} {:>7} {:>7} {:>9} {:>9} {:>9}",
         "scheme",
         "bench",
+        "depth",
         "injected",
         "detected",
         "undetected",
@@ -126,13 +136,14 @@ fn main() {
         "penalty",
         "slowdown"
     );
-    for (scheme, bench, clean, faulted) in &results {
+    for (scheme, bench, depth, clean, faulted) in &results {
         let f = &faulted.faults;
         let slowdown = faulted.cycles as f64 / clean.cycles.max(1) as f64;
         println!(
-            "{:<10} {:<14} {:>9} {:>9} {:>11} {:>7} {:>7} {:>9} {:>9} {:>9.3}",
+            "{:<10} {:<14} {:>5} {:>9} {:>9} {:>11} {:>7} {:>7} {:>9} {:>9} {:>9.3}",
             scheme.name(),
             bench.name(),
+            depth,
             f.injected_corruptions,
             f.detected,
             f.undetected,
@@ -142,11 +153,11 @@ fn main() {
             f.refetch_penalty_cycles,
             slowdown
         );
-        failures += check(scheme, bench, clean, faulted, slowdown);
+        failures += check(scheme, bench, *depth, clean, faulted, slowdown);
     }
     let (injected, detected): (u64, u64) = results
         .iter()
-        .fold((0, 0), |(i, d), (_, _, _, r)| {
+        .fold((0, 0), |(i, d), (_, _, _, _, r)| {
             (i + r.faults.injected_corruptions, d + r.faults.detected)
         });
     println!(
@@ -165,11 +176,12 @@ fn main() {
 fn check(
     scheme: &Scheme,
     bench: &Bench,
+    depth: u32,
     clean: &SimReport,
     faulted: &SimReport,
     slowdown: f64,
 ) -> u64 {
-    let cell = format!("{}/{}", scheme.name(), bench.name());
+    let cell = format!("{}/{}/depth{}", scheme.name(), bench.name(), depth);
     let mut failures = 0;
     if faulted.faults.undetected > 0 {
         println!(

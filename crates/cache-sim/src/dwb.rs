@@ -5,7 +5,7 @@
 //! candidate is found after a full sweep, the search pauses for 1000 cycles
 //! and restarts from a random set.
 
-use iroram_sim_engine::{Cycle, SimRng};
+use iroram_sim_engine::{Cycle, SimRng, SnapError, SnapReader, SnapWriter};
 
 use crate::SetAssocCache;
 
@@ -61,6 +61,28 @@ impl DirtyLruScanner {
     pub fn release(&mut self) {
         self.candidate = None;
         self.locked = false;
+    }
+
+    /// Serializes the sweep cursor, candidate register and pause deadline
+    /// for a checkpoint (`pause_cycles` is configuration and not written).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.set_ptr);
+        w.put_opt_u64(self.candidate);
+        w.put_bool(self.locked);
+        w.put_u64(self.paused_until.raw());
+    }
+
+    /// Restores the state captured by [`DirtyLruScanner::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapError`] on a truncated or corrupt payload.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.set_ptr = r.take_usize()?;
+        self.candidate = r.take_opt_u64()?;
+        self.locked = r.take_bool()?;
+        self.paused_until = Cycle(r.take_u64()?);
+        Ok(())
     }
 
     /// Advances the search by up to one full sweep of the LLC sets.
@@ -187,6 +209,25 @@ mod tests {
         cache.mark_clean(0);
         s.step(&cache, Cycle(1), &mut rng);
         assert_ne!(s.candidate(), Some(0));
+    }
+
+    #[test]
+    fn save_restore_round_trips_candidate_and_pause() {
+        let mut cache = llc();
+        cache.insert(0, true);
+        let mut s = DirtyLruScanner::with_pause(500);
+        let mut rng = SimRng::seed_from(9);
+        s.step(&cache, Cycle(0), &mut rng);
+        s.lock();
+        let mut w = SnapWriter::new();
+        s.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = DirtyLruScanner::with_pause(500);
+        let mut r = SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(fresh.candidate(), Some(0));
+        assert!(fresh.is_locked());
     }
 
     #[test]

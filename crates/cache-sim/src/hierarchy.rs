@@ -1,5 +1,6 @@
 //! The two-level data-cache hierarchy in front of the ORAM controller.
 
+use iroram_sim_engine::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 use crate::{CacheConfig, SetAssocCache};
@@ -208,6 +209,46 @@ impl MemoryHierarchy {
         Some(crate::EvictedLine { addr, dirty })
     }
 
+    /// Serializes both cache levels and the aggregate statistics for a
+    /// checkpoint.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.l1.save_state(w);
+        self.llc.save_state(w);
+        w.put_u64(self.stats.accesses);
+        w.put_u64(self.stats.reads);
+        w.put_u64(self.stats.writes);
+        w.put_u64(self.stats.l1_hits);
+        w.put_u64(self.stats.llc_hits);
+        w.put_u64(self.stats.misses);
+        w.put_u64(self.stats.read_misses);
+        w.put_u64(self.stats.write_misses);
+        w.put_u64(self.stats.dirty_writebacks);
+    }
+
+    /// Restores the state captured by [`MemoryHierarchy::save_state`] into
+    /// a hierarchy of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapError`] from the underlying cache restores (geometry
+    /// mismatch, truncation, corruption).
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.l1.restore_state(r)?;
+        self.llc.restore_state(r)?;
+        self.stats = HierarchyStats {
+            accesses: r.take_u64()?,
+            reads: r.take_u64()?,
+            writes: r.take_u64()?,
+            l1_hits: r.take_u64()?,
+            llc_hits: r.take_u64()?,
+            misses: r.take_u64()?,
+            read_misses: r.take_u64()?,
+            write_misses: r.take_u64()?,
+            dirty_writebacks: r.take_u64()?,
+        };
+        Ok(())
+    }
+
     /// Flushes both levels (context switch), returning dirty line addresses
     /// needing memory write-back.
     pub fn flush(&mut self) -> Vec<u64> {
@@ -334,6 +375,31 @@ mod tests {
         let s = HierarchyConfig::scaled(16);
         assert_eq!(s.llc_sets, 256);
         assert_eq!(s.l1_assoc, 2);
+    }
+
+    #[test]
+    fn save_restore_preserves_future_behaviour() {
+        let mut h = small();
+        for i in 0..32u64 {
+            h.access(i % 7, i % 3 == 0);
+        }
+        let mut w = SnapWriter::new();
+        h.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = MemoryHierarchy::new(HierarchyConfig {
+            l1_sets: 2,
+            l1_assoc: 1,
+            llc_sets: 4,
+            llc_assoc: 2,
+        });
+        let mut r = SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(fresh.stats(), h.stats());
+        for i in 0..32u64 {
+            assert_eq!(fresh.access_full(i % 5, i % 4 == 0), h.access_full(i % 5, i % 4 == 0));
+        }
+        assert_eq!(fresh.stats(), h.stats());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Per-bank row-buffer state machine.
 
-use iroram_sim_engine::Cycle;
+use iroram_sim_engine::{Cycle, SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 use crate::DramTimings;
@@ -96,6 +96,27 @@ impl BankState {
         }
     }
 
+    /// Serializes the open row and timing debts for a checkpoint.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_opt_u64(self.open_row);
+        w.put_u64(self.next_act.raw());
+        w.put_u64(self.next_cas.raw());
+        w.put_u64(self.next_pre.raw());
+    }
+
+    /// Restores the state captured by [`BankState::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapError`] on a truncated or corrupt payload.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.open_row = r.take_opt_u64()?;
+        self.next_act = Cycle(r.take_u64()?);
+        self.next_cas = Cycle(r.take_u64()?);
+        self.next_pre = Cycle(r.take_u64()?);
+        Ok(())
+    }
+
     /// Models a refresh-like event: closes the row.
     pub fn close_row(&mut self, at: Cycle, t: &DramTimings) {
         if self.open_row.take().is_some() {
@@ -172,6 +193,23 @@ mod tests {
             after_write.cas_issue > after_read.cas_issue,
             "write recovery should delay the following row conflict"
         );
+    }
+
+    #[test]
+    fn save_restore_round_trips_timing_debts() {
+        let tm = t();
+        let mut b = BankState::new();
+        b.access(7, true, Cycle(10), &tm);
+        b.access(9, false, Cycle(20), &tm);
+        let mut w = SnapWriter::new();
+        b.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = BankState::new();
+        let mut r = SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(fresh, b);
+        assert_eq!(fresh.access(9, false, Cycle(30), &tm), b.access(9, false, Cycle(30), &tm));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The top-level DRAM system: channels, scheduling, statistics.
 
-use iroram_sim_engine::Cycle;
+use iroram_sim_engine::{Cycle, SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 use crate::{AddressMapping, BankState, DecodedAddr, DramTimings};
@@ -430,6 +430,80 @@ impl DramSystem {
             }
         }
         latest
+    }
+
+    /// Serializes all persistent scheduling state — per-bank row/timing
+    /// state, per-channel bus and turnaround state, lifetime statistics and
+    /// the underflow counter — for a checkpoint. The per-batch scratch
+    /// buffers are excluded: they are cleared at the start of every batch,
+    /// and checkpoints are only taken between batches.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.channels.len());
+        for ch in &self.channels {
+            w.put_usize(ch.banks.len());
+            for b in &ch.banks {
+                b.save_state(w);
+            }
+            w.put_u64(ch.bus_free.raw());
+            w.put_u8(match ch.last_was_write {
+                None => 0,
+                Some(false) => 1,
+                Some(true) => 2,
+            });
+        }
+        w.put_u64(self.stats.row_hits);
+        w.put_u64(self.stats.row_empties);
+        w.put_u64(self.stats.row_conflicts);
+        w.put_u64(self.stats.requests);
+        w.put_u64(self.stats.reads);
+        w.put_u64(self.stats.writes);
+        w.put_u64(self.stats.total_latency);
+        w.put_u64(self.stats.bus_busy_cycles);
+        w.put_u64(self.stats.last_completion);
+        w.put_u64(self.latency_underflows);
+    }
+
+    /// Restores the state captured by [`DramSystem::save_state`] into a
+    /// system built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] if the snapshot's channel/bank geometry does
+    /// not match this system; any [`SnapError`] on truncation.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let nch = r.take_seq_len(8)?;
+        if nch != self.channels.len() {
+            return Err(SnapError::Corrupt("DRAM channel count mismatch"));
+        }
+        for ch in &mut self.channels {
+            let nb = r.take_seq_len(8)?;
+            if nb != ch.banks.len() {
+                return Err(SnapError::Corrupt("DRAM bank count mismatch"));
+            }
+            for b in &mut ch.banks {
+                b.restore_state(r)?;
+            }
+            ch.bus_free = Cycle(r.take_u64()?);
+            ch.last_was_write = match r.take_u8()? {
+                0 => None,
+                1 => Some(false),
+                2 => Some(true),
+                _ => return Err(SnapError::Corrupt("bad bus-direction tag")),
+            };
+        }
+        self.stats = DramStats {
+            row_hits: r.take_u64()?,
+            row_empties: r.take_u64()?,
+            row_conflicts: r.take_u64()?,
+            requests: r.take_u64()?,
+            reads: r.take_u64()?,
+            writes: r.take_u64()?,
+            total_latency: r.take_u64()?,
+            bus_busy_cycles: r.take_u64()?,
+            last_completion: r.take_u64()?,
+        };
+        self.latency_underflows = r.take_u64()?;
+        Ok(())
     }
 
     /// Models a refresh-ish global row closure (used between benchmark runs
@@ -1039,6 +1113,42 @@ mod tests {
         assert_eq!(d.sched_threads(), 1);
         let done = d.schedule_batch(&shuffled_batch(300));
         assert_eq!(done.len(), 300);
+    }
+
+    #[test]
+    fn save_restore_continues_schedule_identically() {
+        let mut live = sys();
+        live.schedule_batch(&shuffled_batch(128));
+        let mut w = SnapWriter::new();
+        live.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = sys();
+        let mut r = SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(fresh.stats(), live.stats());
+        for batch in 0..3u64 {
+            let reqs = shuffled_batch(40 + batch * 9);
+            assert_eq!(fresh.schedule_batch(&reqs), live.schedule_batch(&reqs));
+            assert_eq!(fresh.stats(), live.stats(), "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_geometry_mismatch() {
+        let live = sys();
+        let mut w = SnapWriter::new();
+        live.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut other = DramSystem::new(DramConfig {
+            mapping: AddressMapping::new(1, 2, 8, Interleave::CacheLine),
+            ..DramConfig::default()
+        });
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            other.restore_state(&mut r),
+            Err(SnapError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub fn fingerprint(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> u64 {
         stash_hard_limit,
         sched_threads,
         pipeline_depth,
+        checkpoint_interval,
     } = cfg;
     let key = format!(
         "scheme={scheme:?}|oram={oram:?}|hierarchy={hierarchy:?}|dram={dram:?}\
@@ -70,7 +71,8 @@ pub fn fingerprint(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> u64 {
          |subtree_group={subtree_group}|seed={seed}|audit={audit}\
          |faults={faults:?}|refetch_lat={refetch_lat}\
          |stash_hard_limit={stash_hard_limit}|sched_threads={sched_threads}\
-         |pipeline_depth={pipeline_depth}|{bench:?}|{}",
+         |pipeline_depth={pipeline_depth}|checkpoint_interval={checkpoint_interval}\
+         |{bench:?}|{}",
         limit.mem_ops
     );
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
@@ -149,6 +151,51 @@ impl Journal {
         // worst case is re-simulating this cell on resume.
         let _ = writeln!(file, "{line}");
         let _ = file.flush();
+    }
+
+    /// Rewrites the journal as exactly one line per distinct cell, dropping
+    /// duplicate lines (cells re-recorded across interrupted runs) and any
+    /// malformed lines skipped at open. Written atomically: a temp sibling
+    /// is written, synced, and renamed over the journal, so a kill during
+    /// compaction leaves either the old or the new file, never a torn one.
+    /// Call after a matrix completes — mid-sweep the append-only form is
+    /// the crash-safety mechanism.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the rewrite fails; the original journal is
+    /// left untouched in that case.
+    pub fn compact(&self) -> std::io::Result<()> {
+        // Hold the append lock for the whole read-rewrite-rename so a
+        // concurrent `record` can neither be dropped from the rewrite nor
+        // land on the file being replaced. `record` flushes every line, so
+        // the file is the complete, current state.
+        let mut file = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut cells: BTreeMap<u64, SimReport> = BTreeMap::new();
+        for line in std::fs::read_to_string(&self.path)?.lines() {
+            if let Some((fp, report)) = decode_line(line) {
+                cells.insert(fp, report);
+            }
+        }
+        let tmp = self.path.with_extension("jsonl.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            for (fp, report) in &cells {
+                writeln!(f, "{}", encode_line(*fp, report))?;
+            }
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // Reopen the writer: the old handle would keep appending to the
+        // unlinked inode.
+        *file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        Ok(())
     }
 }
 
@@ -286,6 +333,10 @@ fn encode_report(s: &mut String, r: &SimReport) {
     kv_u64(s, "overflow_slots", r.stash.overflow_slots);
     s.push(',');
     kv_u64(s, "bg_escalations", r.stash.bg_escalations);
+    s.push(',');
+    kv_u64(s, "degraded_slots", r.stash.degraded_slots);
+    s.push(',');
+    kv_u64(s, "throttled_admissions", r.stash.throttled_admissions);
     s.push_str("}}");
 }
 
@@ -625,6 +676,9 @@ fn decode_report(v: &Json) -> Option<SimReport> {
             max_occupancy: st.u64("max_occupancy")?,
             overflow_slots: st.u64("overflow_slots")?,
             bg_escalations: st.u64("bg_escalations")?,
+            // Absent in journals written before degradation accounting.
+            degraded_slots: st.u64("degraded_slots").unwrap_or(0),
+            throttled_admissions: st.u64("throttled_admissions").unwrap_or(0),
         },
     })
 }
@@ -730,6 +784,36 @@ mod tests {
         let j2 = Journal::open(&path).unwrap();
         assert_eq!(j2.len(), 2);
         assert_eq!(format!("{:?}", j2.lookup(99).unwrap()), format!("{r:?}"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_dedupes_and_preserves_every_cell() {
+        let dir = std::env::temp_dir().join(format!("iroram-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("compact.jsonl");
+        std::fs::remove_file(&path).ok();
+        let r = small_report();
+        // Duplicate lines (the same cell re-recorded across interrupted
+        // runs) plus garbage, as a crashed-and-resumed sweep leaves behind.
+        let good = encode_line(7, &r);
+        std::fs::write(
+            &path,
+            format!("{good}\n{good}\nnot json\n{}\n{good}\n", encode_line(8, &r)),
+        )
+        .unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 2);
+        j.compact().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "one line per distinct cell");
+        // Appending still works after compaction (the writer is reopened on
+        // the new inode).
+        j.record(9, &r);
+        drop(j);
+        let j2 = Journal::open(&path).unwrap();
+        assert_eq!(j2.len(), 3);
+        assert!(j2.lookup(7).is_some() && j2.lookup(8).is_some() && j2.lookup(9).is_some());
         std::fs::remove_file(&path).ok();
     }
 

@@ -17,7 +17,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
-use ir_oram::{RunLimit, Scheme, SimError, SimReport, Simulation, SystemConfig};
+use ir_oram::{CheckpointSpec, RunLimit, Scheme, SimError, SimReport, Simulation, SystemConfig};
 use iroram_protocol::{OramConfig, TreeTopMode, ZAllocation};
 use iroram_trace::Bench;
 
@@ -36,6 +36,11 @@ pub const RESUME_PATH_ENV: &str = "IRORAM_RESUME_PATH";
 /// cells have been journaled — a deterministic mid-run kill for exercising
 /// `--resume` in tests and CI. Only honoured when `--resume` is on.
 pub const ABORT_AFTER_ENV: &str = "IRORAM_ABORT_AFTER_CELLS";
+
+/// Environment variable overriding the snapshot directory used when
+/// `checkpoint_interval` is set (default `iroram-ckpt` in the working
+/// directory). One snapshot file per cell, named by the cell fingerprint.
+pub const CHECKPOINT_DIR_ENV: &str = "IRORAM_CHECKPOINT_DIR";
 
 /// Usage text shared by every experiment binary.
 pub const USAGE: &str = "\
@@ -56,7 +61,12 @@ usage: <experiment> [--quick | --standard | --full] [--jobs N] [--csv DIR] [--au
                reports stay byte-identical
   --set K=V    override one scalar SystemConfig field in every cell
                (e.g. --set t_interval=2000; repeatable; applied after the
-               scheme matrix, validated at parse time)";
+               scheme matrix, validated at parse time)
+               --set checkpoint_interval=N snapshots the full simulation
+               state every N path slots ($IRORAM_CHECKPOINT_DIR, default
+               iroram-ckpt/), so a killed run restarted with the same
+               arguments resumes each cell mid-run and finishes with
+               byte-identical output; 0 (the default) disables it";
 
 /// Scaling knobs for the experiments.
 ///
@@ -403,17 +413,42 @@ pub type CellOutcome = Result<SimReport, CellError>;
 /// as probabilistic). With no active fault plan a retry would replay the
 /// identical failure, so the cell fails immediately instead.
 pub fn run_cell_checked(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> CellOutcome {
+    run_cell_checked_at(cfg, bench, limit, None)
+}
+
+/// [`run_cell_checked`] with optional crash-consistent checkpointing: with
+/// `Some(spec)` and `cfg.checkpoint_interval > 0` the cell snapshots its
+/// state to `spec.path` and resumes from an existing matching snapshot. A
+/// failed attempt deletes the snapshot before any retry — a retry models a
+/// fresh fault stream, so resuming it from the failed attempt's mid-run
+/// state would be unsound.
+pub fn run_cell_checked_at(
+    cfg: &SystemConfig,
+    bench: Bench,
+    limit: RunLimit,
+    ckpt: Option<&CheckpointSpec>,
+) -> CellOutcome {
     let cell = format!("{}/{}", cfg.scheme.name(), bench.name());
     let mut attempt: u32 = 0;
     loop {
         let mut acfg = cfg.clone();
         acfg.faults.attempt = cfg.faults.attempt + attempt;
-        let run = catch_unwind(AssertUnwindSafe(|| try_run_cell(&acfg, bench, limit)));
+        let run = catch_unwind(AssertUnwindSafe(|| try_run_cell(&acfg, bench, limit, ckpt)));
         let (message, transient) = match run {
-            Ok(Ok(report)) => return Ok(report),
+            Ok(Ok(report)) => {
+                // Cell done, report in hand: the last mid-run snapshot has
+                // nothing left to resume.
+                if let Some(spec) = ckpt {
+                    let _ = std::fs::remove_file(&spec.path);
+                }
+                return Ok(report);
+            }
             Ok(Err(e)) => (e.to_string(), e.is_transient()),
             Err(payload) => (panic_message(&payload), false),
         };
+        if let Some(spec) = ckpt {
+            let _ = std::fs::remove_file(&spec.path);
+        }
         let retryable = transient && cfg.faults.is_active() && attempt < MAX_CELL_RETRIES;
         if !retryable {
             return Err(CellError {
@@ -437,11 +472,18 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn try_run_cell(cfg: &SystemConfig, bench: Bench, limit: RunLimit) -> Result<SimReport, SimError> {
+fn try_run_cell(
+    cfg: &SystemConfig,
+    bench: Bench,
+    limit: RunLimit,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<SimReport, SimError> {
+    let gen = iroram_trace::WorkloadGen::for_bench(bench, cfg.data_blocks(), cfg.seed);
+    let (report, audit) =
+        Simulation::try_run_checkpointed(cfg, gen, limit, bench.name(), ckpt)?;
     if !cfg.audit {
-        return Simulation::try_run_bench(cfg, bench, limit);
+        return Ok(report);
     }
-    let (report, audit) = Simulation::try_run_bench_audited(cfg, bench, limit)?;
     let audit = audit.expect("audit enabled in config");
     assert!(
         audit.is_clean(),
@@ -485,6 +527,36 @@ fn open_journal(opts: &ExpOptions) -> Option<Journal> {
             None
         }
     }
+}
+
+/// The snapshot directory for checkpointed cells: [`CHECKPOINT_DIR_ENV`]
+/// if set, else `iroram-ckpt` in the working directory.
+pub fn checkpoint_dir() -> PathBuf {
+    // lint: allow(determinism, CHECKPOINT_DIR_ENV is the documented snapshot-directory knob; it picks a file path and cannot affect reported numbers)
+    std::env::var_os(CHECKPOINT_DIR_ENV)
+        .map_or_else(|| PathBuf::from("iroram-ckpt"), PathBuf::from)
+}
+
+/// The checkpoint spec for one cell, or `None` when the config disables
+/// checkpointing (`checkpoint_interval == 0`) or the snapshot directory
+/// cannot be created. The snapshot file is named by the cell fingerprint,
+/// so concurrent cells never collide and a restart finds its own snapshot.
+pub fn checkpoint_spec(cfg: &SystemConfig, fp: u64) -> Option<CheckpointSpec> {
+    if cfg.checkpoint_interval == 0 {
+        return None;
+    }
+    let dir = checkpoint_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "checkpoint: cannot create {}: {e}; checkpointing disabled",
+            dir.display()
+        );
+        return None;
+    }
+    Some(CheckpointSpec {
+        path: dir.join(format!("{fp:016x}.snap")),
+        fingerprint: fp,
+    })
 }
 
 /// The `IRORAM_ABORT_AFTER_CELLS` budget, if set to a number.
@@ -589,7 +661,8 @@ pub fn try_run_matrix(
                 return Ok(report);
             }
         }
-        let report = run_cell_checked(cfg, b, opts.limit())?;
+        let ckpt = checkpoint_spec(cfg, fp);
+        let report = run_cell_checked_at(cfg, b, opts.limit(), ckpt.as_ref())?;
         if let Some(j) = &journal {
             j.record(fp, &report);
             let n = journaled.fetch_add(1, Ordering::SeqCst) + 1;
@@ -603,6 +676,13 @@ pub fn try_run_matrix(
     let mut reports: Vec<SimReport> = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
         reports.push(outcome?);
+    }
+    // The matrix completed: fold duplicate/stale journal lines down to one
+    // line per cell. Failure keeps the (correct, append-only) journal.
+    if let Some(j) = &journal {
+        if let Err(e) = j.compact() {
+            eprintln!("resume: journal compaction failed: {e}; journal kept as-is");
+        }
     }
     let mut rows: Vec<Vec<SimReport>> = Vec::with_capacity(schemes.len());
     let mut it = reports.into_iter();

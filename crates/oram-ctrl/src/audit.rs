@@ -33,7 +33,7 @@
 
 use std::collections::BTreeMap;
 
-use iroram_sim_engine::{Cycle, FloorRing};
+use iroram_sim_engine::{Cycle, FloorRing, SnapError, SnapReader, SnapWriter};
 
 /// How many violation messages are stored verbatim (the count is exact;
 /// only the sample list is capped).
@@ -225,6 +225,60 @@ impl AuditState {
             Ok(()) => self.passed(),
             Err(e) => self.violation(format!("structure ({what}): {e}")),
         }
+    }
+
+    /// Serializes the audit's state (oracle shadow map, pacing schedule,
+    /// conservation carries, counters, samples) for a checkpoint snapshot,
+    /// so a restored audited run keeps validating with full history.
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.oracle.len());
+        for (&addr, &payload) in &self.oracle {
+            w.put_u64(addr);
+            w.put_u64(payload);
+        }
+        w.put_opt_u64(self.expected_slot.map(|c| c.0));
+        self.floors.save_state(w);
+        w.put_u64(self.seen_underflows);
+        w.put_u64(self.pending_write_lines);
+        w.put_u64(self.slots);
+        w.put_u64(self.checks);
+        w.put_u64(self.violations);
+        w.put_usize(self.samples.len());
+        for s in &self.samples {
+            w.put_str(s);
+        }
+    }
+
+    /// Restores state written by [`AuditState::save_state`].
+    pub(crate) fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.take_seq_len(16)?;
+        self.oracle.clear();
+        let mut last: Option<u64> = None;
+        for _ in 0..n {
+            let addr = r.take_u64()?;
+            let payload = r.take_u64()?;
+            if last.is_some_and(|prev| prev >= addr) {
+                return Err(SnapError::Corrupt("oracle entries out of order"));
+            }
+            last = Some(addr);
+            self.oracle.insert(addr, payload);
+        }
+        self.expected_slot = r.take_opt_u64()?.map(Cycle);
+        self.floors.restore_state(r)?;
+        self.seen_underflows = r.take_u64()?;
+        self.pending_write_lines = r.take_u64()?;
+        self.slots = r.take_u64()?;
+        self.checks = r.take_u64()?;
+        self.violations = r.take_u64()?;
+        let samples = r.take_seq_len(8)?;
+        if samples > MAX_SAMPLES {
+            return Err(SnapError::Corrupt("more samples than the cap"));
+        }
+        self.samples.clear();
+        for _ in 0..samples {
+            self.samples.push(r.take_str()?.to_owned());
+        }
+        Ok(())
     }
 
     /// The report so far.

@@ -146,6 +146,13 @@ pub struct SystemConfig {
     /// `--set` parse time and clamped to `1` by the controllers.
     #[serde(default)]
     pub pipeline_depth: u32,
+    /// Checkpoint interval in path slots (`0` = checkpointing off, the
+    /// default). When set, the runner snapshots the complete simulation
+    /// state every N slots so a killed run resumes mid-cell and finishes
+    /// with a report byte-identical to an uninterrupted one. Purely an
+    /// execution knob: it never changes what is simulated.
+    #[serde(default)]
+    pub checkpoint_interval: u64,
 }
 
 impl SystemConfig {
@@ -198,6 +205,7 @@ impl SystemConfig {
             stash_hard_limit: 0,
             sched_threads: 1,
             pipeline_depth: 1,
+            checkpoint_interval: 0,
         };
         base.with_scheme(scheme)
     }
@@ -336,6 +344,7 @@ impl SystemConfig {
                 }
                 self.pipeline_depth = n;
             }
+            "checkpoint_interval" => self.checkpoint_interval = num(key, value)?,
             "oram" => {
                 return Err("--set oram: structured; use the scale flags or edit the config".into())
             }

@@ -6,7 +6,9 @@ use iroram_cache::MemoryHierarchy;
 use serde::{Deserialize, Serialize};
 use iroram_dram::{DramSystem, MemRequest, PathTable, SubtreeLayout};
 use iroram_protocol::{BlockAddr, IntegrityStats, PathOram, PathRecord, RemapPolicy};
-use iroram_sim_engine::{profiler, ClockRatio, Cycle, FaultPlan, InjectedFaults};
+use iroram_sim_engine::{
+    profiler, ClockRatio, Cycle, FaultPlan, InjectedFaults, SnapError, SnapReader, SnapWriter,
+};
 
 use crate::audit::{AuditReport, AuditState};
 use crate::pipeline::{self, PipelineState, PipelineStats};
@@ -14,6 +16,21 @@ use crate::{DwbEngine, SimError, SystemConfig};
 
 /// Identifier of an in-flight ORAM request.
 pub type ReqId = u64;
+
+/// Consecutive slots the stash may sit over its hard limit while graceful
+/// degradation (admission throttling + background eviction) tries to drain
+/// it, before [`SimError::StashOverflow`] fires. Bounded so a stash pinned
+/// over the limit (e.g. by a fault storm suppressing eviction) still
+/// surfaces as the typed transient error.
+pub const OVERFLOW_GRACE_SLOTS: u64 = 64;
+
+/// Admission duty cycle in degraded mode: while the stash sits between the
+/// degradation watermark and the hard limit, new work is admitted on one
+/// slot in this many (full stop only above the hard limit). Reduced-rate
+/// rather than zero-rate admission guarantees forward progress even when
+/// nothing else drains the stash — a full stop below the hard limit could
+/// spin forever without ever reaching the overflow error.
+pub const DEGRADED_ADMIT_PERIOD: u64 = 4;
 
 /// A request submitted to the ORAM controller after missing the LLC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +74,11 @@ pub struct StashPressure {
     pub overflow_slots: u64,
     /// Idle→pending transitions of the background-eviction condition.
     pub bg_escalations: u64,
+    /// Slots that began over the degradation watermark (¾ of the hard
+    /// limit) with new-work admission throttled so eviction could drain.
+    pub degraded_slots: u64,
+    /// Eligible demand/write-back admissions deferred by that throttle.
+    pub throttled_admissions: u64,
 }
 
 #[derive(Debug)]
@@ -115,8 +137,12 @@ pub struct TimedController {
     faults: Option<FaultPlan>,
     /// CPU cycles charged per detected-and-repaired corrupted bucket.
     refetch_lat: u64,
-    /// Hard stash limit; crossing it is a transient `SimError`.
+    /// Hard stash limit; staying over it past the bounded grace is a
+    /// transient `SimError`.
     stash_hard_limit: usize,
+    /// Degradation watermark (¾ of the hard limit): above it, new-work
+    /// admission is throttled so background eviction can drain the stash.
+    degrade_watermark: usize,
     /// Integrity detections already charged a re-fetch penalty.
     seen_detected: u64,
     /// Total re-fetch penalty cycles charged so far.
@@ -127,6 +153,13 @@ pub struct TimedController {
     was_bg_pending: bool,
     overflow_slots: u64,
     bg_escalations: u64,
+    /// Degraded-mode slot count (see [`StashPressure::degraded_slots`]).
+    degraded_slots: u64,
+    /// Admissions deferred by the degradation throttle.
+    throttled_admissions: u64,
+    /// Consecutive slots the stash has sat over the hard limit (the
+    /// degradation grace counter; reset when it drains back under).
+    overflow_grace: u64,
     slots_done: u64,
 }
 
@@ -185,12 +218,16 @@ impl TimedController {
             faults: FaultPlan::new(&cfg.faults, cfg.seed ^ 0xFA01_7C01),
             refetch_lat: cfg.refetch_lat,
             stash_hard_limit: cfg.effective_stash_hard_limit(),
+            degrade_watermark: cfg.effective_stash_hard_limit() / 4 * 3,
             seen_detected: 0,
             penalty_cycles: 0,
             storm_now: false,
             was_bg_pending: false,
             overflow_slots: 0,
             bg_escalations: 0,
+            degraded_slots: 0,
+            throttled_admissions: 0,
+            overflow_grace: 0,
             slots_done: 0,
         }
     }
@@ -260,7 +297,15 @@ impl TimedController {
             max_occupancy: self.protocol.stash_peak() as u64,
             overflow_slots: self.overflow_slots,
             bg_escalations: self.bg_escalations,
+            degraded_slots: self.degraded_slots,
+            throttled_admissions: self.throttled_admissions,
         }
+    }
+
+    /// Slots processed so far (the checkpoint trigger and the snapshot
+    /// header's progress field).
+    pub fn slots_done(&self) -> u64 {
+        self.slots_done
     }
 
     /// Pending request-queue depth (for CPU back-pressure).
@@ -419,8 +464,12 @@ impl TimedController {
                 self.inject_corruption(pick, mask);
             }
         }
-        // Stash pressure: sampled at slot boundaries, plus the hard limit
-        // that turns unbounded growth into a typed transient error.
+        // Stash pressure: sampled at slot boundaries. Over the degradation
+        // watermark (¾ of the hard limit), new-work admission is throttled
+        // so background eviction can drain the stash; over the hard limit
+        // itself a bounded grace of degraded slots runs before the typed
+        // transient error fires. Clean runs never cross the watermark, so
+        // the path below is byte-identical to the pre-degradation rule.
         let occupancy = self.protocol.stash_len();
         if occupancy > self.protocol.config().stash_capacity {
             self.overflow_slots += 1;
@@ -430,13 +479,28 @@ impl TimedController {
             self.bg_escalations += 1;
         }
         self.was_bg_pending = pending;
-        if occupancy > self.stash_hard_limit {
-            return Err(SimError::StashOverflow {
-                occupancy,
-                hard_limit: self.stash_hard_limit,
-                slot: self.slots_done,
-            });
+        let degraded = occupancy > self.degrade_watermark;
+        if degraded {
+            self.degraded_slots += 1;
         }
+        if occupancy > self.stash_hard_limit {
+            self.overflow_grace += 1;
+            if self.overflow_grace > OVERFLOW_GRACE_SLOTS {
+                return Err(SimError::StashOverflow {
+                    occupancy,
+                    hard_limit: self.stash_hard_limit,
+                    slot: self.slots_done,
+                });
+            }
+        } else {
+            self.overflow_grace = 0;
+        }
+        // Degraded admission gate: above the hard limit nothing is admitted
+        // (the grace above bounds how long that can last); between the
+        // watermark and the hard limit one slot in DEGRADED_ADMIT_PERIOD
+        // still admits, so throttling can never stall the run outright.
+        let throttle = occupancy > self.stash_hard_limit
+            || (degraded && !self.slots_done.is_multiple_of(DEGRADED_ADMIT_PERIOD));
         self.slots_done += 1;
         let t = self.next_slot;
         let mut issued: Option<PathRecord> = None;
@@ -536,6 +600,16 @@ impl TimedController {
                 self.slot_stats.total_slots += 1;
                 self.finish_path(t, issued.expect("just issued"), None);
                 return Ok(());
+            }
+            // Degraded mode: admission is throttled — eligible new work
+            // waits while background eviction (which already outranks
+            // admission) drains the stash back under the watermark.
+            if throttle {
+                if self.queue.front().is_some_and(|r| r.arrival <= t) || !self.wb_queue.is_empty()
+                {
+                    self.throttled_admissions += 1;
+                }
+                break;
             }
             // Start the next demand request that has arrived.
             if self
@@ -751,6 +825,240 @@ impl TimedController {
             None => (t + self.t_interval).max(read_floor_cpu),
         };
     }
+
+    // -- Checkpointing ------------------------------------------------------
+
+    /// Serializes the controller's complete logical state — protocol, DRAM
+    /// timing state, queues, in-flight work, pipeline, IR-DWB, audit, fault
+    /// plan, and every counter — for a checkpoint snapshot. Derived state
+    /// (the path table) and per-call scratch (`reqs_buf`) are rebuilt from
+    /// configuration instead.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.protocol.save_state(w);
+        self.dram.save_state(w);
+        w.put_usize(self.write_buf.len());
+        for r in &self.write_buf {
+            w.put_u64(r.line_addr);
+            w.put_bool(r.is_write);
+            w.put_u64(r.arrival.0);
+        }
+        w.put_u64(self.next_slot.0);
+        save_req_queue(w, &self.queue);
+        w.put_usize(self.wb_queue.len());
+        for a in &self.wb_queue {
+            w.put_u64(a.0);
+        }
+        match &self.current {
+            None => w.put_u8(0),
+            Some(Work::Request { req, pm }) => {
+                w.put_u8(1);
+                save_req(w, req);
+                save_addr_deque(w, pm);
+            }
+            Some(Work::DelayedWb { addr, pm }) => {
+                w.put_u8(2);
+                w.put_u64(addr.0);
+                save_addr_deque(w, pm);
+            }
+        }
+        match &self.pipe {
+            None => w.put_u8(0),
+            Some(p) => {
+                w.put_u8(1);
+                p.save_state(w);
+            }
+        }
+        match &self.dwb {
+            None => w.put_u8(0),
+            Some(d) => {
+                w.put_u8(1);
+                d.save_state(w);
+            }
+        }
+        w.put_usize(self.completions.len());
+        for &(id, done) in &self.completions {
+            w.put_u64(id);
+            w.put_u64(done.0);
+        }
+        w.put_u64(self.slot_stats.total_slots);
+        w.put_u64(self.slot_stats.real_slots);
+        w.put_u64(self.slot_stats.bg_slots);
+        w.put_u64(self.slot_stats.dummy_slots);
+        w.put_u64(self.slot_stats.converted_slots);
+        w.put_u64(self.last_write_done.0);
+        match &self.audit {
+            None => w.put_u8(0),
+            Some(a) => {
+                w.put_u8(1);
+                a.save_state(w);
+            }
+        }
+        match &self.faults {
+            None => w.put_u8(0),
+            Some(p) => {
+                w.put_u8(1);
+                p.save_state(w);
+            }
+        }
+        w.put_u64(self.seen_detected);
+        w.put_u64(self.penalty_cycles);
+        w.put_bool(self.storm_now);
+        w.put_bool(self.was_bg_pending);
+        w.put_u64(self.overflow_slots);
+        w.put_u64(self.bg_escalations);
+        w.put_u64(self.degraded_slots);
+        w.put_u64(self.throttled_admissions);
+        w.put_u64(self.overflow_grace);
+        w.put_u64(self.slots_done);
+    }
+
+    /// Restores state written by [`TimedController::save_state`] into a
+    /// controller freshly built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] when the payload is malformed or was written by a
+    /// controller with a different configuration (pipeline/DWB/audit/fault
+    /// presence must match).
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.protocol.restore_state(r)?;
+        self.dram.restore_state(r)?;
+        let n = r.take_seq_len(17)?;
+        self.write_buf.clear();
+        for _ in 0..n {
+            let line_addr = r.take_u64()?;
+            let is_write = r.take_bool()?;
+            let arrival = Cycle(r.take_u64()?);
+            self.write_buf.push(MemRequest {
+                line_addr,
+                is_write,
+                arrival,
+            });
+        }
+        self.next_slot = Cycle(r.take_u64()?);
+        self.queue = restore_req_queue(r)?;
+        let n = r.take_seq_len(8)?;
+        self.wb_queue.clear();
+        for _ in 0..n {
+            self.wb_queue.push_back(BlockAddr(r.take_u64()?));
+        }
+        self.current = match r.take_u8()? {
+            0 => None,
+            1 => {
+                let req = restore_req(r)?;
+                let pm = restore_addr_deque(r)?;
+                Some(Work::Request { req, pm })
+            }
+            2 => {
+                let addr = BlockAddr(r.take_u64()?);
+                let pm = restore_addr_deque(r)?;
+                Some(Work::DelayedWb { addr, pm })
+            }
+            _ => return Err(SnapError::Corrupt("bad current-work tag")),
+        };
+        match (r.take_u8()?, &mut self.pipe) {
+            (0, None) => {}
+            (1, Some(p)) => p.restore_state(r)?,
+            _ => return Err(SnapError::Corrupt("pipeline presence mismatch")),
+        }
+        match (r.take_u8()?, &mut self.dwb) {
+            (0, None) => {}
+            (1, Some(d)) => d.restore_state(r)?,
+            _ => return Err(SnapError::Corrupt("DWB presence mismatch")),
+        }
+        let n = r.take_seq_len(16)?;
+        self.completions.clear();
+        for _ in 0..n {
+            let id = r.take_u64()?;
+            let done = Cycle(r.take_u64()?);
+            self.completions.push((id, done));
+        }
+        self.slot_stats.total_slots = r.take_u64()?;
+        self.slot_stats.real_slots = r.take_u64()?;
+        self.slot_stats.bg_slots = r.take_u64()?;
+        self.slot_stats.dummy_slots = r.take_u64()?;
+        self.slot_stats.converted_slots = r.take_u64()?;
+        self.last_write_done = Cycle(r.take_u64()?);
+        match (r.take_u8()?, &mut self.audit) {
+            (0, None) => {}
+            (1, Some(a)) => a.restore_state(r)?,
+            _ => return Err(SnapError::Corrupt("audit presence mismatch")),
+        }
+        match (r.take_u8()?, &mut self.faults) {
+            (0, None) => {}
+            (1, Some(p)) => p.restore_state(r)?,
+            _ => return Err(SnapError::Corrupt("fault-plan presence mismatch")),
+        }
+        self.seen_detected = r.take_u64()?;
+        self.penalty_cycles = r.take_u64()?;
+        self.storm_now = r.take_bool()?;
+        self.was_bg_pending = r.take_bool()?;
+        self.overflow_slots = r.take_u64()?;
+        self.bg_escalations = r.take_u64()?;
+        self.degraded_slots = r.take_u64()?;
+        self.throttled_admissions = r.take_u64()?;
+        self.overflow_grace = r.take_u64()?;
+        self.slots_done = r.take_u64()?;
+        Ok(())
+    }
+}
+
+/// Serializes one [`OramRequest`].
+pub(crate) fn save_req(w: &mut SnapWriter, req: &OramRequest) {
+    w.put_u64(req.id);
+    w.put_u64(req.addr.0);
+    w.put_u64(req.arrival.0);
+    w.put_bool(req.blocking);
+}
+
+/// Restores one [`OramRequest`].
+pub(crate) fn restore_req(r: &mut SnapReader<'_>) -> Result<OramRequest, SnapError> {
+    Ok(OramRequest {
+        id: r.take_u64()?,
+        addr: BlockAddr(r.take_u64()?),
+        arrival: Cycle(r.take_u64()?),
+        blocking: r.take_bool()?,
+    })
+}
+
+/// Serializes a FIFO of [`OramRequest`]s.
+pub(crate) fn save_req_queue(w: &mut SnapWriter, q: &VecDeque<OramRequest>) {
+    w.put_usize(q.len());
+    for req in q {
+        save_req(w, req);
+    }
+}
+
+/// Restores a FIFO of [`OramRequest`]s.
+pub(crate) fn restore_req_queue(
+    r: &mut SnapReader<'_>,
+) -> Result<VecDeque<OramRequest>, SnapError> {
+    let n = r.take_seq_len(25)?;
+    let mut q = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        q.push_back(restore_req(r)?);
+    }
+    Ok(q)
+}
+
+/// Serializes a pending PosMap-fetch chain.
+pub(crate) fn save_addr_deque(w: &mut SnapWriter, pm: &VecDeque<BlockAddr>) {
+    w.put_usize(pm.len());
+    for a in pm {
+        w.put_u64(a.0);
+    }
+}
+
+/// Restores a pending PosMap-fetch chain.
+pub(crate) fn restore_addr_deque(
+    r: &mut SnapReader<'_>,
+) -> Result<VecDeque<BlockAddr>, SnapError> {
+    let n = r.take_seq_len(8)?;
+    let mut pm = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        pm.push_back(BlockAddr(r.take_u64()?));
+    }
+    Ok(pm)
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! write buffer and never stall directly — their cost arrives as ORAM queue
 //! back-pressure.
 
-use iroram_sim_engine::Cycle;
+use iroram_sim_engine::{Cycle, SnapError, SnapReader, SnapWriter};
 
 use crate::ReqId;
 
@@ -159,6 +159,43 @@ impl TraceCpu {
             .iter()
             .filter_map(|m| m.done)
             .fold(Cycle::ZERO, Cycle::max)
+    }
+
+    /// Serializes the core's logical state (pipeline cursor, retired
+    /// instruction count, outstanding misses) for a checkpoint snapshot.
+    /// The ROB/IPC/MSHR parameters are configuration, not state.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.cursor.0);
+        w.put_u64(self.inst_count);
+        w.put_usize(self.outstanding.len());
+        for m in &self.outstanding {
+            w.put_u64(m.inst_no);
+            w.put_u64(m.req);
+            w.put_opt_u64(m.done.map(|c| c.0));
+        }
+    }
+
+    /// Restores state written by [`TraceCpu::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] when the payload is malformed or holds more
+    /// outstanding misses than this core's MSHR limit.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cursor = Cycle(r.take_u64()?);
+        self.inst_count = r.take_u64()?;
+        let n = r.take_seq_len(17)?;
+        if n > self.mshrs {
+            return Err(SnapError::Corrupt("more outstanding misses than MSHRs"));
+        }
+        self.outstanding.clear();
+        for _ in 0..n {
+            let inst_no = r.take_u64()?;
+            let req = r.take_u64()?;
+            let done = r.take_opt_u64()?.map(Cycle);
+            self.outstanding.push(Miss { inst_no, req, done });
+        }
+        Ok(())
     }
 }
 

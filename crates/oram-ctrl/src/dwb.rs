@@ -10,7 +10,7 @@
 use iroram_cache::{DirtyLruScanner, MemoryHierarchy};
 use serde::{Deserialize, Serialize};
 use iroram_protocol::{BlockAddr, PathOram, PathRecord, PlbStatus};
-use iroram_sim_engine::{Cycle, SimRng};
+use iroram_sim_engine::{Cycle, SimRng, SnapError, SnapReader, SnapWriter};
 
 use crate::SimError;
 
@@ -76,6 +76,52 @@ impl DwbEngine {
     /// Total write-back sequences ever started (audit hook).
     pub fn sequences_started(&self) -> u64 {
         self.started
+    }
+
+    /// Serializes the engine's logical state (scanner registers, locked
+    /// victim, sequence ledger, counters, RNG) for a checkpoint snapshot.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.scanner.save_state(w);
+        w.put_opt_u64(self.victim.map(|v| v.0));
+        w.put_u64(self.started);
+        w.put_u64(self.stats.converted_slots);
+        w.put_u64(self.stats.converted_posmap);
+        w.put_u64(self.stats.converted_data);
+        w.put_u64(self.stats.completed);
+        w.put_u64(self.stats.aborted);
+        for s in self.rng.state() {
+            w.put_u64(s);
+        }
+    }
+
+    /// Restores state written by [`DwbEngine::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] when the payload is malformed or internally
+    /// inconsistent (victim without a matching scanner candidate).
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.scanner.restore_state(r)?;
+        self.victim = r.take_opt_u64()?.map(BlockAddr);
+        if self.victim.map(|v| v.0) != self.scanner.candidate() {
+            return Err(SnapError::Corrupt("DWB victim disagrees with scanner"));
+        }
+        self.started = r.take_u64()?;
+        self.stats.converted_slots = r.take_u64()?;
+        self.stats.converted_posmap = r.take_u64()?;
+        self.stats.converted_data = r.take_u64()?;
+        self.stats.completed = r.take_u64()?;
+        self.stats.aborted = r.take_u64()?;
+        let in_flight = u64::from(self.victim.is_some());
+        if self.started != self.stats.completed + self.stats.aborted + in_flight {
+            return Err(SnapError::Corrupt("DWB sequence ledger does not balance"));
+        }
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            *s = r.take_u64()?;
+        }
+        self.rng = SimRng::from_state(state);
+        Ok(())
     }
 
     /// Starts a sequence on the scanner's current candidate: the one place

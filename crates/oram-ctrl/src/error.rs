@@ -42,11 +42,22 @@ pub enum SimError {
     /// typed error instead of a protocol panic. Not transient — replaying
     /// the same schedule reproduces it.
     Protocol(iroram_protocol::AccessError),
+    /// A checkpoint snapshot could not be written, read, or applied
+    /// (I/O failure, framing defect, config mismatch, or state that does
+    /// not fit the running configuration). Not transient — the snapshot on
+    /// disk does not change between attempts.
+    Snapshot(iroram_sim_engine::SnapError),
 }
 
 impl From<iroram_protocol::AccessError> for SimError {
     fn from(e: iroram_protocol::AccessError) -> Self {
         SimError::Protocol(e)
+    }
+}
+
+impl From<iroram_sim_engine::SnapError> for SimError {
+    fn from(e: iroram_sim_engine::SnapError) -> Self {
+        SimError::Snapshot(e)
     }
 }
 
@@ -81,6 +92,7 @@ impl std::fmt::Display for SimError {
                 "trace record {index} is malformed: address {addr:#x} outside the {data_blocks}-block population"
             ),
             SimError::Protocol(e) => write!(f, "protocol rejected access: {e}"),
+            SimError::Snapshot(e) => write!(f, "checkpoint snapshot: {e}"),
         }
     }
 }
@@ -111,6 +123,9 @@ mod tests {
         ));
         assert!(!escrow.is_transient());
         assert!(escrow.to_string().contains("not escrowed"));
+        let snap = SimError::from(iroram_sim_engine::SnapError::BadChecksum);
+        assert!(!snap.is_transient());
+        assert!(snap.to_string().contains("checkpoint snapshot"));
     }
 
     #[test]

@@ -48,10 +48,13 @@ mod sim;
 
 pub use audit::AuditReport;
 pub use config::{Scheme, SystemConfig, ALL_SCHEMES};
-pub use controller::{OramRequest, ReqId, SlotStats, StashPressure, TimedController};
+pub use controller::{
+    OramRequest, ReqId, SlotStats, StashPressure, TimedController, DEGRADED_ADMIT_PERIOD,
+    OVERFLOW_GRACE_SLOTS,
+};
 pub use cpu::TraceCpu;
 pub use dwb::{DwbEngine, DwbStats};
 pub use error::SimError;
 pub use iroram_protocol::IntegrityStats;
 pub use rho::RhoController;
-pub use sim::{Backend, FaultStats, RunLimit, SimReport, Simulation};
+pub use sim::{Backend, CheckpointSpec, FaultStats, RunLimit, SimReport, Simulation};

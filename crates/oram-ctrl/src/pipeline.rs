@@ -47,7 +47,7 @@ use std::collections::VecDeque;
 
 use iroram_dram::PathTable;
 use iroram_protocol::BlockAddr;
-use iroram_sim_engine::{Cycle, FloorRing};
+use iroram_sim_engine::{Cycle, FloorRing, SnapError, SnapReader, SnapWriter};
 
 /// One scheduled-but-unretired path access.
 #[derive(Debug, Clone, Copy)]
@@ -228,6 +228,96 @@ impl PipelineState {
     /// Whether a speculative resolution is already cached.
     pub fn has_spec(&self) -> bool {
         self.spec.is_some()
+    }
+
+    /// Serializes the pipeline's logical state (floor ring, in-flight
+    /// paths, cached speculation, deferred-write metadata, counters) for a
+    /// checkpoint snapshot.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.ring.save_state(w);
+        w.put_usize(self.inflight.len());
+        for p in &self.inflight {
+            w.put_u64(p.leaf);
+            w.put_bool(p.small_tree);
+            w.put_u64(p.write_done.0);
+        }
+        match &self.spec {
+            None => w.put_u8(0),
+            Some((addr, pm)) => {
+                w.put_u8(1);
+                w.put_u64(addr.0);
+                w.put_usize(pm.len());
+                for a in pm {
+                    w.put_u64(a.0);
+                }
+            }
+        }
+        match &self.pending {
+            None => w.put_u8(0),
+            Some(p) => {
+                w.put_u8(1);
+                w.put_u64(p.leaf);
+                w.put_bool(p.small_tree);
+                w.put_u64(p.read_done.0);
+            }
+        }
+        w.put_u64(self.stats.conflicts);
+        w.put_u64(self.stats.spec_hits);
+        w.put_u64(self.stats.spec_misses);
+        w.put_u64(self.stats.deferred_writes);
+    }
+
+    /// Restores state written by [`PipelineState::save_state`] into a
+    /// freshly built pipeline of the same configured depth.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] when the payload is malformed or does not fit this
+    /// pipeline's depth.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.ring.restore_state(r)?;
+        let n = r.take_seq_len(17)?;
+        if n > self.ring.depth() {
+            return Err(SnapError::Corrupt("more in-flight paths than depth"));
+        }
+        self.inflight.clear();
+        for _ in 0..n {
+            let leaf = r.take_u64()?;
+            let small_tree = r.take_bool()?;
+            let write_done = Cycle(r.take_u64()?);
+            self.inflight.push_back(InFlightPath {
+                leaf,
+                small_tree,
+                write_done,
+            });
+        }
+        self.spec = match r.take_u8()? {
+            0 => None,
+            1 => {
+                let addr = BlockAddr(r.take_u64()?);
+                let len = r.take_seq_len(8)?;
+                let mut pm = VecDeque::with_capacity(len);
+                for _ in 0..len {
+                    pm.push_back(BlockAddr(r.take_u64()?));
+                }
+                Some((addr, pm))
+            }
+            _ => return Err(SnapError::Corrupt("bad speculation tag")),
+        };
+        self.pending = match r.take_u8()? {
+            0 => None,
+            1 => Some(PendingWrite {
+                leaf: r.take_u64()?,
+                small_tree: r.take_bool()?,
+                read_done: Cycle(r.take_u64()?),
+            }),
+            _ => return Err(SnapError::Corrupt("bad pending-write tag")),
+        };
+        self.stats.conflicts = r.take_u64()?;
+        self.stats.spec_hits = r.take_u64()?;
+        self.stats.spec_misses = r.take_u64()?;
+        self.stats.deferred_writes = r.take_u64()?;
+        Ok(())
     }
 }
 

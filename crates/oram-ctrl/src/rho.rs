@@ -22,9 +22,15 @@ use iroram_protocol::{
     BlockAddr, IntegrityStats, OramConfig, PathOram, PathRecord, RemapPolicy, TreeTopMode,
     ZAllocation,
 };
-use iroram_sim_engine::{profiler, ClockRatio, Cycle, FaultPlan, InjectedFaults};
+use iroram_sim_engine::{
+    profiler, ClockRatio, Cycle, FaultPlan, InjectedFaults, SnapError, SnapReader, SnapWriter,
+};
 
 use crate::audit::{AuditReport, AuditState};
+use crate::controller::{
+    restore_addr_deque, restore_req, save_addr_deque, save_req, DEGRADED_ADMIT_PERIOD,
+    OVERFLOW_GRACE_SLOTS,
+};
 use crate::pipeline::{self, PipelineState, PipelineStats};
 use crate::{OramRequest, ReqId, SimError, SlotStats, StashPressure, SystemConfig};
 
@@ -57,6 +63,72 @@ enum SmallWork {
         slot: u64,
         pm: VecDeque<BlockAddr>,
     },
+}
+
+fn save_main_work(w: &mut SnapWriter, work: &MainWork) {
+    match work {
+        MainWork::Request { req, pm, install } => {
+            w.put_u8(1);
+            save_req(w, req);
+            save_addr_deque(w, pm);
+            w.put_bool(*install);
+        }
+        MainWork::Wb { addr, pm } => {
+            w.put_u8(2);
+            w.put_u64(addr.0);
+            save_addr_deque(w, pm);
+        }
+    }
+}
+
+fn restore_main_work(r: &mut SnapReader<'_>) -> Result<MainWork, SnapError> {
+    match r.take_u8()? {
+        1 => {
+            let req = restore_req(r)?;
+            let pm = restore_addr_deque(r)?;
+            let install = r.take_bool()?;
+            Ok(MainWork::Request { req, pm, install })
+        }
+        2 => {
+            let addr = BlockAddr(r.take_u64()?);
+            let pm = restore_addr_deque(r)?;
+            Ok(MainWork::Wb { addr, pm })
+        }
+        _ => Err(SnapError::Corrupt("bad main-work tag")),
+    }
+}
+
+fn save_small_work(w: &mut SnapWriter, work: &SmallWork) {
+    match work {
+        SmallWork::Hit { req, slot, pm } => {
+            w.put_u8(1);
+            save_req(w, req);
+            w.put_u64(*slot);
+            save_addr_deque(w, pm);
+        }
+        SmallWork::Install { slot, pm } => {
+            w.put_u8(2);
+            w.put_u64(*slot);
+            save_addr_deque(w, pm);
+        }
+    }
+}
+
+fn restore_small_work(r: &mut SnapReader<'_>) -> Result<SmallWork, SnapError> {
+    match r.take_u8()? {
+        1 => {
+            let req = restore_req(r)?;
+            let slot = r.take_u64()?;
+            let pm = restore_addr_deque(r)?;
+            Ok(SmallWork::Hit { req, slot, pm })
+        }
+        2 => {
+            let slot = r.take_u64()?;
+            let pm = restore_addr_deque(r)?;
+            Ok(SmallWork::Install { slot, pm })
+        }
+        _ => Err(SnapError::Corrupt("bad small-work tag")),
+    }
 }
 
 /// The dual-tree ρ controller.
@@ -111,8 +183,12 @@ pub struct RhoController {
     faults: Option<FaultPlan>,
     /// CPU cycles charged per detected-and-repaired corrupted bucket.
     refetch_lat: u64,
-    /// Hard limit on either stash; crossing it is a transient `SimError`.
+    /// Hard limit on either stash; staying over it past the bounded grace
+    /// is a transient `SimError`.
     stash_hard_limit: usize,
+    /// Degradation watermark (¾ of the hard limit); see
+    /// [`crate::TimedController`].
+    degrade_watermark: usize,
     /// Integrity detections (both trees) already charged a penalty.
     seen_detected: u64,
     penalty_cycles: u64,
@@ -121,6 +197,12 @@ pub struct RhoController {
     was_bg_pending: bool,
     overflow_slots: u64,
     bg_escalations: u64,
+    /// Degraded-mode slot count (see [`StashPressure::degraded_slots`]).
+    degraded_slots: u64,
+    /// Admissions deferred by the degradation throttle.
+    throttled_admissions: u64,
+    /// Consecutive slots a stash has sat over the hard limit.
+    overflow_grace: u64,
     slots_done: u64,
 }
 
@@ -208,12 +290,16 @@ impl RhoController {
             faults: FaultPlan::new(&cfg.faults, cfg.seed ^ 0xFA01_7C01),
             refetch_lat: cfg.refetch_lat,
             stash_hard_limit: cfg.effective_stash_hard_limit(),
+            degrade_watermark: cfg.effective_stash_hard_limit() / 4 * 3,
             seen_detected: 0,
             penalty_cycles: 0,
             storm_now: false,
             was_bg_pending: false,
             overflow_slots: 0,
             bg_escalations: 0,
+            degraded_slots: 0,
+            throttled_admissions: 0,
+            overflow_grace: 0,
             slots_done: 0,
         }
     }
@@ -280,7 +366,249 @@ impl RhoController {
             max_occupancy: self.main.stash_peak().max(self.small.stash_peak()) as u64,
             overflow_slots: self.overflow_slots,
             bg_escalations: self.bg_escalations,
+            degraded_slots: self.degraded_slots,
+            throttled_admissions: self.throttled_admissions,
         }
+    }
+
+    /// Slots processed so far (the checkpoint trigger and the snapshot
+    /// header's progress field).
+    pub fn slots_done(&self) -> u64 {
+        self.slots_done
+    }
+
+    /// Serializes the controller's complete logical state into a checkpoint
+    /// payload. Configuration-derived structures (path tables, layouts,
+    /// scratch buffers) are rebuilt by the constructor, not stored.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.main.save_state(w);
+        self.small.save_state(w);
+        self.dram.save_state(w);
+        w.put_usize(self.write_buf.len());
+        for req in &self.write_buf {
+            w.put_u64(req.line_addr);
+            w.put_bool(req.is_write);
+            w.put_u64(req.arrival.0);
+        }
+        w.put_usize(self.slots.len());
+        for s in &self.slots {
+            w.put_opt_u64(*s);
+        }
+        w.put_usize(self.directory.len());
+        for (&addr, &slot) in &self.directory {
+            w.put_u64(addr);
+            w.put_u64(slot);
+        }
+        w.put_usize(self.last_use.len());
+        for &tick in &self.last_use {
+            w.put_u64(tick);
+        }
+        w.put_u64(self.use_tick);
+        w.put_u64(self.next_slot.0);
+        w.put_u64(self.slot_idx);
+        w.put_usize(self.main_queue.len());
+        for work in &self.main_queue {
+            save_main_work(w, work);
+        }
+        match &self.current_main {
+            None => w.put_u8(0),
+            Some(work) => {
+                w.put_u8(1);
+                save_main_work(w, work);
+            }
+        }
+        w.put_usize(self.small_queue.len());
+        for work in &self.small_queue {
+            save_small_work(w, work);
+        }
+        match &self.current_small {
+            None => w.put_u8(0),
+            Some(work) => {
+                w.put_u8(1);
+                save_small_work(w, work);
+            }
+        }
+        match &self.pipe {
+            None => w.put_u8(0),
+            Some(p) => {
+                w.put_u8(1);
+                p.save_state(w);
+            }
+        }
+        w.put_usize(self.completions.len());
+        for &(id, done) in &self.completions {
+            w.put_u64(id);
+            w.put_u64(done.0);
+        }
+        w.put_u64(self.slot_stats.total_slots);
+        w.put_u64(self.slot_stats.real_slots);
+        w.put_u64(self.slot_stats.bg_slots);
+        w.put_u64(self.slot_stats.dummy_slots);
+        w.put_u64(self.slot_stats.converted_slots);
+        w.put_u64(self.last_write_done.0);
+        w.put_usize(self.reuse_order.len());
+        for &addr in &self.reuse_order {
+            w.put_u64(addr);
+        }
+        match &self.audit {
+            None => w.put_u8(0),
+            Some(a) => {
+                w.put_u8(1);
+                a.save_state(w);
+            }
+        }
+        match &self.faults {
+            None => w.put_u8(0),
+            Some(p) => {
+                w.put_u8(1);
+                p.save_state(w);
+            }
+        }
+        w.put_u64(self.seen_detected);
+        w.put_u64(self.penalty_cycles);
+        w.put_bool(self.storm_now);
+        w.put_bool(self.was_bg_pending);
+        w.put_u64(self.overflow_slots);
+        w.put_u64(self.bg_escalations);
+        w.put_u64(self.degraded_slots);
+        w.put_u64(self.throttled_admissions);
+        w.put_u64(self.overflow_grace);
+        w.put_u64(self.slots_done);
+    }
+
+    /// Restores state written by [`RhoController::save_state`] into a
+    /// freshly constructed controller for the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] when the payload is malformed or inconsistent with
+    /// this controller's configuration (slot-table size, reuse-filter
+    /// capacity, component presence).
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.main.restore_state(r)?;
+        self.small.restore_state(r)?;
+        self.dram.restore_state(r)?;
+        let n = r.take_seq_len(17)?;
+        self.write_buf.clear();
+        for _ in 0..n {
+            let line_addr = r.take_u64()?;
+            let is_write = r.take_bool()?;
+            let arrival = Cycle(r.take_u64()?);
+            self.write_buf.push(MemRequest {
+                line_addr,
+                is_write,
+                arrival,
+            });
+        }
+        let n = r.take_seq_len(1)?;
+        if n != self.slots.len() {
+            return Err(SnapError::Corrupt("small-tree slot table size mismatch"));
+        }
+        for s in &mut self.slots {
+            *s = r.take_opt_u64()?;
+        }
+        let n = r.take_seq_len(16)?;
+        if n > self.slots.len() {
+            return Err(SnapError::Corrupt("directory larger than the slot table"));
+        }
+        self.directory.clear();
+        let mut last_addr = None;
+        for _ in 0..n {
+            let addr = r.take_u64()?;
+            let slot = r.take_u64()?;
+            if last_addr.is_some_and(|prev| addr <= prev) {
+                return Err(SnapError::Corrupt("directory entries out of order"));
+            }
+            last_addr = Some(addr);
+            if slot as usize >= self.slots.len() {
+                return Err(SnapError::Corrupt("directory points past the slot table"));
+            }
+            self.directory.insert(addr, slot);
+        }
+        let n = r.take_seq_len(8)?;
+        if n != self.last_use.len() {
+            return Err(SnapError::Corrupt("LRU table size mismatch"));
+        }
+        for tick in &mut self.last_use {
+            *tick = r.take_u64()?;
+        }
+        self.use_tick = r.take_u64()?;
+        self.next_slot = Cycle(r.take_u64()?);
+        self.slot_idx = r.take_u64()?;
+        let n = r.take_seq_len(9)?;
+        self.main_queue.clear();
+        for _ in 0..n {
+            let work = restore_main_work(r)?;
+            self.main_queue.push_back(work);
+        }
+        self.current_main = match r.take_u8()? {
+            0 => None,
+            1 => Some(restore_main_work(r)?),
+            _ => return Err(SnapError::Corrupt("bad current-main tag")),
+        };
+        let n = r.take_seq_len(9)?;
+        self.small_queue.clear();
+        for _ in 0..n {
+            let work = restore_small_work(r)?;
+            self.small_queue.push_back(work);
+        }
+        self.current_small = match r.take_u8()? {
+            0 => None,
+            1 => Some(restore_small_work(r)?),
+            _ => return Err(SnapError::Corrupt("bad current-small tag")),
+        };
+        match (r.take_u8()?, &mut self.pipe) {
+            (0, None) => {}
+            (1, Some(p)) => p.restore_state(r)?,
+            _ => return Err(SnapError::Corrupt("pipeline presence mismatch")),
+        }
+        let n = r.take_seq_len(16)?;
+        self.completions.clear();
+        for _ in 0..n {
+            let id = r.take_u64()?;
+            let done = Cycle(r.take_u64()?);
+            self.completions.push((id, done));
+        }
+        self.slot_stats.total_slots = r.take_u64()?;
+        self.slot_stats.real_slots = r.take_u64()?;
+        self.slot_stats.bg_slots = r.take_u64()?;
+        self.slot_stats.dummy_slots = r.take_u64()?;
+        self.slot_stats.converted_slots = r.take_u64()?;
+        self.last_write_done = Cycle(r.take_u64()?);
+        let n = r.take_seq_len(8)?;
+        if n > self.reuse_capacity {
+            return Err(SnapError::Corrupt("reuse filter larger than its capacity"));
+        }
+        self.reuse_order.clear();
+        self.reuse_filter.clear();
+        for _ in 0..n {
+            let addr = r.take_u64()?;
+            if !self.reuse_filter.insert(addr) {
+                return Err(SnapError::Corrupt("duplicate reuse-filter entry"));
+            }
+            self.reuse_order.push_back(addr);
+        }
+        match (r.take_u8()?, &mut self.audit) {
+            (0, None) => {}
+            (1, Some(a)) => a.restore_state(r)?,
+            _ => return Err(SnapError::Corrupt("audit presence mismatch")),
+        }
+        match (r.take_u8()?, &mut self.faults) {
+            (0, None) => {}
+            (1, Some(p)) => p.restore_state(r)?,
+            _ => return Err(SnapError::Corrupt("fault-plan presence mismatch")),
+        }
+        self.seen_detected = r.take_u64()?;
+        self.penalty_cycles = r.take_u64()?;
+        self.storm_now = r.take_bool()?;
+        self.was_bg_pending = r.take_bool()?;
+        self.overflow_slots = r.take_u64()?;
+        self.bg_escalations = r.take_u64()?;
+        self.degraded_slots = r.take_u64()?;
+        self.throttled_admissions = r.take_u64()?;
+        self.overflow_grace = r.take_u64()?;
+        self.slots_done = r.take_u64()?;
+        Ok(())
     }
 
     /// Demand-queue depth (for CPU back-pressure).
@@ -476,21 +804,40 @@ impl RhoController {
             self.bg_escalations += 1;
         }
         self.was_bg_pending = pending;
-        if occupancy > self.stash_hard_limit {
-            return Err(SimError::StashOverflow {
-                occupancy,
-                hard_limit: self.stash_hard_limit,
-                slot: self.slots_done,
-            });
+        // Graceful degradation mirrors the single-tree controller: over the
+        // watermark new-work admission throttles; over the hard limit a
+        // bounded grace window lets eviction recover before the typed
+        // overflow error fires.
+        let degraded = occupancy > self.degrade_watermark;
+        if degraded {
+            self.degraded_slots += 1;
         }
+        if occupancy > self.stash_hard_limit {
+            self.overflow_grace += 1;
+            if self.overflow_grace > OVERFLOW_GRACE_SLOTS {
+                return Err(SimError::StashOverflow {
+                    occupancy,
+                    hard_limit: self.stash_hard_limit,
+                    slot: self.slots_done,
+                });
+            }
+        } else {
+            self.overflow_grace = 0;
+        }
+        // Degraded admission gate (see the single-tree controller): full
+        // stop above the hard limit, one-in-DEGRADED_ADMIT_PERIOD admission
+        // between the watermark and the hard limit so throttling can never
+        // stall the run outright.
+        let throttle = occupancy > self.stash_hard_limit
+            || (degraded && !self.slots_done.is_multiple_of(DEGRADED_ADMIT_PERIOD));
         self.slots_done += 1;
         let t = self.next_slot;
         let is_main = self.slot_idx.is_multiple_of(3);
         self.slot_idx += 1;
         let issued = if is_main {
-            self.main_slot(t)?
+            self.main_slot(t, throttle)?
         } else {
-            self.small_slot(t)?
+            self.small_slot(t, throttle)?
         };
         self.slot_stats.total_slots += 1;
         match issued {
@@ -540,6 +887,7 @@ impl RhoController {
     fn main_slot(
         &mut self,
         t: Cycle,
+        throttle: bool,
     ) -> Result<Option<(PathRecord, bool, Option<ReqId>)>, SimError> {
         loop {
             match self.current_main.take() {
@@ -636,6 +984,14 @@ impl RhoController {
                 };
                 return Ok(Some((path, false, None)));
             }
+            // Degraded mode: queued work waits while background eviction
+            // (which already outranks admission) drains the stash.
+            if throttle {
+                if !self.main_queue.is_empty() {
+                    self.throttled_admissions += 1;
+                }
+                return Ok(None);
+            }
             if let Some(work) = self.main_queue.pop_front() {
                 self.current_main = Some(work);
                 continue;
@@ -649,6 +1005,7 @@ impl RhoController {
     fn small_slot(
         &mut self,
         t: Cycle,
+        throttle: bool,
     ) -> Result<Option<(PathRecord, bool, Option<ReqId>)>, SimError> {
         loop {
             match self.current_small.take() {
@@ -709,6 +1066,12 @@ impl RhoController {
                     self.small.bg_evict_once()
                 };
                 return Ok(Some((path, true, None)));
+            }
+            if throttle {
+                if !self.small_queue.is_empty() {
+                    self.throttled_admissions += 1;
+                }
+                return Ok(None);
             }
             if let Some(work) = self.small_queue.pop_front() {
                 self.current_small = Some(work);

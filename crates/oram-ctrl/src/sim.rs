@@ -1,11 +1,15 @@
 //! Full-system simulation driver and reports.
 
+use std::path::PathBuf;
+
 use serde::{Deserialize, Serialize};
 
 use iroram_cache::{AccessOutcome, HierarchyStats, MemoryHierarchy};
 use iroram_dram::DramStats;
 use iroram_protocol::{BlockAddr, IntegrityStats, ProtocolStats};
-use iroram_sim_engine::{profiler, Cycle, FaultPlan};
+use iroram_sim_engine::{
+    checkpoint, profiler, Cycle, FaultPlan, SnapError, SnapReader, SnapWriter,
+};
 use iroram_trace::{Bench, WorkloadGen};
 
 use crate::audit::AuditReport;
@@ -19,6 +23,20 @@ use crate::{
 
 /// Demand-queue depth at which the core stalls (miss-queue back-pressure).
 const MAX_QUEUE: usize = 16;
+
+/// Where a run checkpoints and which configuration the snapshot belongs to.
+///
+/// The fingerprint is stamped into every snapshot header and checked on
+/// restore, so a snapshot written for one cell can never resume another:
+/// a mismatch is a typed [`SnapError::ConfigMismatch`], not silent
+/// divergence.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Snapshot file (written atomically: temp sibling + rename).
+    pub path: PathBuf,
+    /// Configuration fingerprint (the experiment journal's cell key).
+    pub fingerprint: u64,
+}
 
 /// How long to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -160,6 +178,40 @@ impl Backend {
         match self {
             Backend::Single(b) => b.protocol.utilization_per_level(),
             Backend::Rho(b) => b.main.utilization_per_level(),
+        }
+    }
+
+    /// Path slots processed so far (the checkpoint cadence counter).
+    pub fn slots_done(&self) -> u64 {
+        delegate!(self, b => b.slots_done())
+    }
+
+    /// Serializes the backend (variant tag + controller state).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        match self {
+            Backend::Single(b) => {
+                w.put_u8(0);
+                b.save_state(w);
+            }
+            Backend::Rho(b) => {
+                w.put_u8(1);
+                b.save_state(w);
+            }
+        }
+    }
+
+    /// Restores state written by [`Backend::save_state`] into a freshly
+    /// built backend for the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] when the payload is malformed or was written by the
+    /// other backend variant.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        match (r.take_u8()?, self) {
+            (0, Backend::Single(b)) => b.restore_state(r),
+            (1, Backend::Rho(b)) => b.restore_state(r),
+            _ => Err(SnapError::Corrupt("backend variant mismatch")),
         }
     }
 }
@@ -369,9 +421,33 @@ impl Simulation {
     /// typed [`SimError`] instead of a panic.
     pub fn try_run_audited(
         cfg: &SystemConfig,
+        gen: WorkloadGen,
+        limit: RunLimit,
+        workload: &str,
+    ) -> Result<(SimReport, Option<AuditReport>), SimError> {
+        Self::try_run_checkpointed(cfg, gen, limit, workload, None)
+    }
+
+    /// Like [`Simulation::try_run_audited`], with crash-consistent
+    /// checkpointing. With `Some(spec)` and `cfg.checkpoint_interval > 0`,
+    /// the complete simulation state is snapshotted to `spec.path` every
+    /// `checkpoint_interval` path slots; on entry an existing snapshot for
+    /// the same fingerprint resumes the run mid-cell, and the finished
+    /// report is byte-identical to an uninterrupted run's. The last
+    /// mid-run snapshot is left on disk; callers that no longer need to
+    /// resume (the sweep runner, once the report is journaled) delete it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] as for the uncheckpointed form, plus
+    /// [`SimError::Snapshot`] for a corrupt, mismatched, or unwritable
+    /// snapshot.
+    pub fn try_run_checkpointed(
+        cfg: &SystemConfig,
         mut gen: WorkloadGen,
         limit: RunLimit,
         workload: &str,
+        ckpt: Option<&CheckpointSpec>,
     ) -> Result<(SimReport, Option<AuditReport>), SimError> {
         let mut backend = Backend::new(cfg);
         let mut hierarchy = MemoryHierarchy::new(cfg.hierarchy);
@@ -385,9 +461,72 @@ impl Simulation {
         let data_blocks = cfg.data_blocks();
         let mut rejected_records = 0u64;
         let mut record_index = 0u64;
-
         let mut ops = 0u64;
+
+        // Resume from an existing snapshot, if one matches.
+        let mut last_ckpt_slots = 0u64;
+        if let Some(spec) = ckpt {
+            if let Some((header, payload)) = checkpoint::load(&spec.path)? {
+                if header.fingerprint != spec.fingerprint {
+                    return Err(SimError::Snapshot(SnapError::ConfigMismatch {
+                        expected: spec.fingerprint,
+                        found: header.fingerprint,
+                    }));
+                }
+                let mut r = SnapReader::new(&payload);
+                ops = r.take_u64()?;
+                record_index = r.take_u64()?;
+                rejected_records = r.take_u64()?;
+                next_id = r.take_u64()?;
+                last_completion = Cycle(r.take_u64()?);
+                gen.restore_state(&mut r)?;
+                cpu.restore_state(&mut r)?;
+                hierarchy.restore_state(&mut r)?;
+                match (r.take_u8()?, &mut trace_plan) {
+                    (0, None) => {}
+                    (1, Some(p)) => p.restore_state(&mut r)?,
+                    _ => {
+                        return Err(SimError::Snapshot(SnapError::Corrupt(
+                            "trace-plan presence mismatch",
+                        )))
+                    }
+                }
+                backend.restore_state(&mut r)?;
+                r.finish()?;
+                last_ckpt_slots = header.slots_done;
+            }
+        }
+
         while ops < limit.mem_ops {
+            // Checkpoint cadence: between records the machine is quiescent
+            // (no partially applied path access), so this is a consistent
+            // cut of the whole simulation state.
+            if let Some(spec) = ckpt {
+                let slots = backend.slots_done();
+                if cfg.checkpoint_interval > 0
+                    && slots >= last_ckpt_slots + cfg.checkpoint_interval
+                {
+                    let mut w = SnapWriter::new();
+                    w.put_u64(ops);
+                    w.put_u64(record_index);
+                    w.put_u64(rejected_records);
+                    w.put_u64(next_id);
+                    w.put_u64(last_completion.0);
+                    gen.save_state(&mut w);
+                    cpu.save_state(&mut w);
+                    hierarchy.save_state(&mut w);
+                    match &trace_plan {
+                        None => w.put_u8(0),
+                        Some(p) => {
+                            w.put_u8(1);
+                            p.save_state(&mut w);
+                        }
+                    }
+                    backend.save_state(&mut w);
+                    checkpoint::persist(&spec.path, spec.fingerprint, slots, &w.into_bytes())?;
+                    last_ckpt_slots = slots;
+                }
+            }
             let mut rec = gen.next_record();
             let index = record_index;
             record_index += 1;
@@ -522,6 +661,10 @@ impl Simulation {
             faults,
             stash: backend.stash_pressure(),
         };
+        // The last mid-run snapshot (if any) is left on disk: deleting it
+        // is the caller's call, once the report is safely persisted. Tests
+        // also resume from it to prove restored runs match uninterrupted
+        // ones.
         Ok((report, audit))
     }
 }

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use iroram_cache::CacheConfig;
 use iroram_hash::FeistelCipher;
-use iroram_sim_engine::SimRng;
+use iroram_sim_engine::{SimRng, SnapError, SnapReader, SnapWriter};
 
 use crate::posmap::PlbStatus;
 use crate::treetop::{DedicatedTreeTop, IrStashTop, TreeTopStore};
@@ -776,6 +776,115 @@ impl PathOram {
     }
 
     // ------------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------------
+
+    /// Serializes the complete logical protocol state for a checkpoint:
+    /// tree, stash, PosMap (+PLB), tree-top store, escrow, RNG stream, and
+    /// statistics. The cipher, layout, and hot-loop scratch are derived
+    /// from the configuration and are not written.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.tree.save_state(w);
+        self.stash.save_state(w);
+        self.posmap.save_state(w);
+        match &self.top {
+            None => w.put_u8(0),
+            Some(top) => {
+                w.put_u8(1);
+                top.save_state(w);
+            }
+        }
+        w.put_usize(self.escrow.len());
+        for (&addr, &payload) in &self.escrow {
+            w.put_u64(addr);
+            w.put_u64(payload);
+        }
+        for s in self.rng.state() {
+            w.put_u64(s);
+        }
+        let st = &self.stats;
+        w.put_u64(st.accesses);
+        w.put_u64(st.fstash_hits);
+        w.put_u64(st.sstash_hits);
+        w.put_u64(st.escrow_hits);
+        w.put_u64(st.treetop_hits);
+        w.put_u64(st.pos1_paths);
+        w.put_u64(st.pos2_paths);
+        w.put_u64(st.data_paths);
+        w.put_u64(st.bg_evict_paths);
+        w.put_u64(st.dummy_paths);
+        w.put_usize(st.served_level.len());
+        for &v in &st.served_level {
+            w.put_u64(v);
+        }
+        w.put_u64(st.served_stash);
+        w.put_u64(st.blocks_from_memory);
+        w.put_u64(st.blocks_to_memory);
+        w.put_u64(st.sstash_rejects);
+        w.put_u64(st.delayed_inserts);
+    }
+
+    /// Restores the state written by [`PathOram::save_state`] into this
+    /// instance, which must have been built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapError`] on truncation, or [`SnapError::Corrupt`] when the
+    /// snapshot disagrees with this instance's geometry (tree size, tree-top
+    /// mode, PosMap size, escrow ordering, per-level counter count).
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.tree.restore_state(r)?;
+        self.stash.restore_state(r)?;
+        self.posmap.restore_state(r)?;
+        let top_tag = r.take_u8()?;
+        match (&mut self.top, top_tag) {
+            (None, 0) => {}
+            (Some(top), 1) => top.restore_state(r)?,
+            _ => return Err(SnapError::Corrupt("tree-top presence mismatch")),
+        }
+        let n = r.take_seq_len(16)?;
+        self.escrow.clear();
+        let mut prev: Option<u64> = None;
+        for _ in 0..n {
+            let addr = r.take_u64()?;
+            if prev.is_some_and(|p| p >= addr) {
+                return Err(SnapError::Corrupt("escrow entries out of order"));
+            }
+            prev = Some(addr);
+            self.escrow.insert(addr, r.take_u64()?);
+        }
+        let mut rng_state = [0u64; 4];
+        for s in &mut rng_state {
+            *s = r.take_u64()?;
+        }
+        self.rng = SimRng::from_state(rng_state);
+        let st = &mut self.stats;
+        st.accesses = r.take_u64()?;
+        st.fstash_hits = r.take_u64()?;
+        st.sstash_hits = r.take_u64()?;
+        st.escrow_hits = r.take_u64()?;
+        st.treetop_hits = r.take_u64()?;
+        st.pos1_paths = r.take_u64()?;
+        st.pos2_paths = r.take_u64()?;
+        st.data_paths = r.take_u64()?;
+        st.bg_evict_paths = r.take_u64()?;
+        st.dummy_paths = r.take_u64()?;
+        let levels = r.take_seq_len(8)?;
+        if levels != st.served_level.len() {
+            return Err(SnapError::Corrupt("served-level counter count mismatch"));
+        }
+        for v in st.served_level.iter_mut() {
+            *v = r.take_u64()?;
+        }
+        st.served_stash = r.take_u64()?;
+        st.blocks_from_memory = r.take_u64()?;
+        st.blocks_to_memory = r.take_u64()?;
+        st.sstash_rejects = r.take_u64()?;
+        st.delayed_inserts = r.take_u64()?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
@@ -1362,6 +1471,53 @@ mod tests {
         let (s2, st2) = run();
         assert_eq!(s1, s2);
         assert_eq!(st1, st2);
+    }
+
+    #[test]
+    fn save_restore_resumes_identically_all_modes() {
+        for treetop in [
+            TreeTopMode::None,
+            TreeTopMode::Dedicated { levels: 3 },
+            TreeTopMode::IrStash {
+                levels: 3,
+                sets: 16,
+                ways: 4,
+            },
+        ] {
+            for remap in [RemapPolicy::Immediate, RemapPolicy::Delayed] {
+                let mut a = tiny_with(treetop, remap);
+                for i in 0..48u64 {
+                    a.run_access(BlockAddr(i * 5 % 256), Some(i));
+                }
+                let mut w = SnapWriter::new();
+                a.save_state(&mut w);
+                let bytes = w.into_bytes();
+                let mut b = tiny_with(treetop, remap);
+                let mut r = SnapReader::new(&bytes);
+                b.restore_state(&mut r).unwrap();
+                r.finish().unwrap();
+                // The restored instance must continue bit-identically.
+                for i in 0..48u64 {
+                    let ra = a.run_access(BlockAddr(i * 3 % 256), None);
+                    let rb = b.run_access(BlockAddr(i * 3 % 256), None);
+                    assert_eq!(ra, rb, "{treetop:?} {remap:?} step {i}");
+                }
+                assert_eq!(a.stats(), b.stats(), "{treetop:?} {remap:?}");
+                assert_eq!(a.plb_counters(), b.plb_counters());
+                assert_eq!(a.stash_len(), b.stash_len());
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_treetop_mode_mismatch() {
+        let a = tiny_with(TreeTopMode::Dedicated { levels: 3 }, RemapPolicy::Immediate);
+        let mut w = SnapWriter::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut b = tiny_with(TreeTopMode::None, RemapPolicy::Immediate);
+        let mut r = SnapReader::new(&bytes);
+        assert!(b.restore_state(&mut r).is_err());
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use serde::{Deserialize, Serialize};
 
 use iroram_cache::{CacheConfig, SetAssocCache};
-use iroram_sim_engine::SimRng;
+use iroram_sim_engine::{SimRng, SnapError, SnapReader, SnapWriter};
 
 use crate::{BlockAddr, BlockKind, Leaf};
 
@@ -213,6 +213,40 @@ impl PosMapSystem {
         self.leaf_of[addr.0 as usize] != UNMAPPED
     }
 
+    /// Serializes the authoritative leaf table, the PLB and the hit/miss
+    /// counters for a checkpoint (the address space and PLB geometry come
+    /// from configuration).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.leaf_of.len());
+        for &l in &self.leaf_of {
+            w.put_u64(l);
+        }
+        self.plb.save_state(w);
+        w.put_u64(self.plb_hits);
+        w.put_u64(self.plb_misses);
+    }
+
+    /// Restores the state captured by [`PosMapSystem::save_state`] into a
+    /// subsystem built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] on a geometry mismatch; any [`SnapError`] on
+    /// truncation.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.take_seq_len(8)?;
+        if n != self.leaf_of.len() {
+            return Err(SnapError::Corrupt("position-map size mismatch"));
+        }
+        for l in &mut self.leaf_of {
+            *l = r.take_u64()?;
+        }
+        self.plb.restore_state(r)?;
+        self.plb_hits = r.take_u64()?;
+        self.plb_misses = r.take_u64()?;
+        Ok(())
+    }
+
     /// Non-perturbing PLB state for translating data block `addr`.
     ///
     /// PosMap₂ blocks themselves always resolve through the on-chip PosMap₃.
@@ -387,6 +421,27 @@ mod tests {
         assert_eq!(PlbStatus::Hit.extra_paths(), 0);
         assert_eq!(PlbStatus::MissPm1.extra_paths(), 1);
         assert_eq!(PlbStatus::MissBoth.extra_paths(), 2);
+    }
+
+    #[test]
+    fn save_restore_round_trips_mappings_and_plb() {
+        let mut p = sys(4096);
+        let need = p.resolve(BlockAddr(0));
+        for n in need {
+            p.plb_fill(n);
+        }
+        p.unmap(BlockAddr(7));
+        let mut w = SnapWriter::new();
+        p.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = sys(4096); // different random init, fully overwritten
+        let mut r = SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(fresh.leaf_of(BlockAddr(3)), p.leaf_of(BlockAddr(3)));
+        assert!(!fresh.is_mapped(BlockAddr(7)));
+        assert_eq!(fresh.plb_status(BlockAddr(0)), PlbStatus::Hit);
+        assert_eq!((fresh.plb_hits, fresh.plb_misses), (p.plb_hits, p.plb_misses));
     }
 
     #[test]

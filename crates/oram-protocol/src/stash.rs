@@ -6,6 +6,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
 use iroram_hash::mix64;
+use iroram_sim_engine::{SnapError, SnapReader, SnapWriter};
 
 use crate::{BlockAddr, Leaf, StoredBlock, TreeLayout};
 
@@ -278,6 +279,38 @@ impl Stash {
     /// Iterates over resident blocks in ascending address order.
     pub fn iter(&self) -> impl Iterator<Item = &StoredBlock> {
         self.blocks.iter()
+    }
+
+    /// Serializes the resident blocks and the occupancy high-water mark for
+    /// a checkpoint (capacity is configuration; the write-back scratch is
+    /// meaningless between calls and not written).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.blocks.len());
+        for b in &self.blocks {
+            b.save_state(w);
+        }
+        w.put_usize(self.max_occupancy);
+    }
+
+    /// Restores the state captured by [`Stash::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] if the serialized blocks are not in ascending
+    /// address order (the vector's invariant); any [`SnapError`] on
+    /// truncation.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.take_seq_len(StoredBlock::SNAP_BYTES)?;
+        self.blocks.clear();
+        for _ in 0..n {
+            let b = StoredBlock::restore_state(r)?;
+            if self.blocks.last().is_some_and(|prev| prev.addr.0 >= b.addr.0) {
+                return Err(SnapError::Corrupt("stash blocks out of order"));
+            }
+            self.blocks.push(b);
+        }
+        self.max_occupancy = r.take_usize()?;
+        Ok(())
     }
 
     /// Plans the write-back of a path to `leaf`: selects, for each level in
@@ -572,6 +605,44 @@ mod tests {
             s.insert(blk(a, (x >> 33) % leaves));
         }
         s
+    }
+
+    #[test]
+    fn save_restore_round_trips_blocks_and_watermark() {
+        let layout = TreeLayout::new(ZAllocation::uniform(6, 4));
+        let mut s = mixed_stash(13, 40, layout.num_leaves());
+        for a in 0..30 {
+            s.take(BlockAddr(a)); // drop below the watermark
+        }
+        let mut w = SnapWriter::new();
+        s.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = Stash::new(1024);
+        let mut r = SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(fresh.len(), s.len());
+        assert_eq!(fresh.max_occupancy(), 40);
+        // Identical future planning behaviour.
+        let a = s.plan_writeback(&layout, Leaf(3), 0, |_, _| true);
+        let b = fresh.plan_writeback(&layout, Leaf(3), 0, |_, _| true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restore_rejects_unsorted_blocks() {
+        let mut w = SnapWriter::new();
+        w.put_usize(2);
+        blk(5, 0).save_state(&mut w);
+        blk(3, 0).save_state(&mut w);
+        w.put_usize(2);
+        let bytes = w.into_bytes();
+        let mut s = Stash::new(8);
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            s.restore_state(&mut r),
+            Err(SnapError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use std::collections::BTreeMap;
 
+use iroram_sim_engine::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 use crate::{BlockAddr, Leaf, StoredBlock, TreeLayout};
@@ -520,6 +521,113 @@ impl OramTree {
         self.used_per_level.iter().sum()
     }
 
+    /// Serializes the full slot arena, occupancy ledgers, checksum table,
+    /// outstanding-fault ledger and integrity counters for a checkpoint.
+    /// The layout and the integrity *flag* come from configuration and are
+    /// written only as cross-checks. Checksums are serialized verbatim (not
+    /// recomputed on restore) because with an outstanding injected
+    /// corruption the stored sum deliberately reflects the legitimate
+    /// contents, not the corrupted slots.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.slots.len());
+        for s in &self.slots {
+            w.put_u64(s.addr);
+            w.put_u64(s.leaf);
+            w.put_u64(s.payload);
+        }
+        w.put_usize(self.used_per_level.len());
+        for &u in &self.used_per_level {
+            w.put_u64(u);
+        }
+        w.put_usize(self.used.len());
+        for &u in &self.used {
+            w.put_u32(u as u32);
+        }
+        w.put_bool(self.integrity);
+        w.put_usize(self.sums.len());
+        for &s in &self.sums {
+            w.put_u64(s);
+        }
+        w.put_usize(self.injected.len());
+        for (&bidx, entries) in &self.injected {
+            w.put_usize(bidx);
+            w.put_usize(entries.len());
+            for &(slot, mask) in entries {
+                w.put_u32(slot);
+                w.put_u64(mask);
+            }
+        }
+        w.put_u64(self.istats.injected);
+        w.put_u64(self.istats.detected);
+        w.put_u64(self.istats.recovered);
+        w.put_u64(self.istats.undetected);
+    }
+
+    /// Restores the state captured by [`OramTree::save_state`] into a tree
+    /// built from the same layout and integrity configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] if the snapshot's geometry or integrity mode
+    /// disagrees with this tree; any [`SnapError`] on truncation.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.take_seq_len(24)?;
+        if n != self.slots.len() {
+            return Err(SnapError::Corrupt("tree slot count mismatch"));
+        }
+        for s in &mut self.slots {
+            s.addr = r.take_u64()?;
+            s.leaf = r.take_u64()?;
+            s.payload = r.take_u64()?;
+        }
+        let n = r.take_seq_len(8)?;
+        if n != self.used_per_level.len() {
+            return Err(SnapError::Corrupt("tree level count mismatch"));
+        }
+        for u in &mut self.used_per_level {
+            *u = r.take_u64()?;
+        }
+        let n = r.take_seq_len(4)?;
+        if n != self.used.len() {
+            return Err(SnapError::Corrupt("tree bucket count mismatch"));
+        }
+        for u in &mut self.used {
+            let v = r.take_u32()?;
+            *u = u16::try_from(v).map_err(|_| SnapError::Corrupt("bucket fill exceeds u16"))?;
+        }
+        if r.take_bool()? != self.integrity {
+            return Err(SnapError::Corrupt("integrity mode mismatch"));
+        }
+        let n = r.take_seq_len(8)?;
+        if n != if self.integrity { (1usize << self.layout.levels()) - 1 } else { 0 } {
+            return Err(SnapError::Corrupt("checksum table size mismatch"));
+        }
+        self.sums.clear();
+        for _ in 0..n {
+            self.sums.push(r.take_u64()?);
+        }
+        let n = r.take_seq_len(16)?;
+        self.injected.clear();
+        for _ in 0..n {
+            let bidx = r.take_usize()?;
+            let m = r.take_seq_len(12)?;
+            let mut entries = Vec::with_capacity(m);
+            for _ in 0..m {
+                let slot = r.take_u32()?;
+                let mask = r.take_u64()?;
+                entries.push((slot, mask));
+            }
+            self.injected.insert(bidx, entries);
+        }
+        self.istats = IntegrityStats {
+            injected: r.take_u64()?,
+            detected: r.take_u64()?,
+            recovered: r.take_u64()?,
+            undetected: r.take_u64()?,
+        };
+        Ok(())
+    }
+
     /// Iterates over all stored real blocks with their coordinates
     /// (for invariant checking; O(total slots)).
     pub fn iter_blocks(&self) -> impl Iterator<Item = (usize, u64, StoredBlock)> + '_ {
@@ -681,6 +789,41 @@ mod tests {
         assert_eq!(t.verify_and_repair(2, 1), 0, "rewrite resyncs the checksum");
         let s = t.integrity_stats();
         assert_eq!((s.detected, s.undetected), (0, 0));
+    }
+
+    #[test]
+    fn save_restore_round_trips_mid_fault_state() {
+        let mut t = tree3();
+        t.set_integrity(true);
+        t.write_bucket(2, 1, vec![blk(10, 1), blk(11, 1)]);
+        t.write_bucket(1, 0, vec![blk(5, 1)]);
+        t.inject_fault(2, 1, 0, 0xFF); // outstanding, undetected yet
+        let mut w = SnapWriter::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = tree3();
+        fresh.set_integrity(true);
+        let mut r = SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        // The outstanding corruption must still be detectable and repairable.
+        assert_eq!(fresh.verify_and_repair(2, 1), 1);
+        let got = fresh.take_bucket(2, 1);
+        assert!(got.iter().any(|b| b.addr == BlockAddr(10) && b.payload == 10));
+        assert_eq!(fresh.used_at(1), 1);
+        assert_eq!(fresh.integrity_stats().injected, 1);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_integrity_mode() {
+        let mut t = tree3();
+        t.set_integrity(true);
+        let mut w = SnapWriter::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = tree3(); // integrity off
+        let mut r = SnapReader::new(&bytes);
+        assert!(fresh.restore_state(&mut r).is_err());
     }
 
     #[test]

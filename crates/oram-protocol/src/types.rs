@@ -1,5 +1,6 @@
 //! Core protocol value types.
 
+use iroram_sim_engine::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -69,6 +70,31 @@ pub struct StoredBlock {
     pub leaf: Leaf,
     /// 64-bit payload standing in for the 64 B line contents.
     pub payload: u64,
+}
+
+impl StoredBlock {
+    /// Fixed serialized size in bytes (three `u64` fields).
+    pub const SNAP_BYTES: usize = 24;
+
+    /// Serializes the block for a checkpoint.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.addr.0);
+        w.put_u64(self.leaf.0);
+        w.put_u64(self.payload);
+    }
+
+    /// Reads one block back from a checkpoint payload.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapError`] on a truncated payload.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(StoredBlock {
+            addr: BlockAddr(r.take_u64()?),
+            leaf: Leaf(r.take_u64()?),
+            payload: r.take_u64()?,
+        })
+    }
 }
 
 /// The externally observable classification of one ORAM path access.

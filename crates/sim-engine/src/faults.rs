@@ -33,6 +33,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{SnapError, SnapReader, SnapWriter};
 use crate::SimRng;
 
 /// Fault rates and magnitudes. Plain data, defaulting to all-zero (no
@@ -186,6 +187,42 @@ impl FaultPlan {
             return true;
         }
         false
+    }
+
+    /// Serializes the plan's mutable cursor (RNG stream position, storm
+    /// state, injected counters) for a checkpoint. The config is not
+    /// written: a restored plan is rebuilt from the run configuration and
+    /// then has this state overlaid.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        for s in self.rng.state() {
+            w.put_u64(s);
+        }
+        w.put_u64(self.storm_left);
+        w.put_u64(self.injected.corruptions);
+        w.put_u64(self.injected.stalls);
+        w.put_u64(self.injected.stall_cycles);
+        w.put_u64(self.injected.storms);
+        w.put_u64(self.injected.mangled_records);
+    }
+
+    /// Restores the cursor captured by [`FaultPlan::save_state`], resuming
+    /// the fault sequence exactly where the snapshot left it.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] if the snapshot bytes are truncated or corrupt.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let s = [r.take_u64()?, r.take_u64()?, r.take_u64()?, r.take_u64()?];
+        self.rng = SimRng::from_state(s);
+        self.storm_left = r.take_u64()?;
+        self.injected = InjectedFaults {
+            corruptions: r.take_u64()?,
+            stalls: r.take_u64()?,
+            stall_cycles: r.take_u64()?,
+            storms: r.take_u64()?,
+            mangled_records: r.take_u64()?,
+        };
+        Ok(())
     }
 
     /// Per-record mangling decision: `Some(raw)` when this trace record's

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod cycles;
 mod events;
 mod faults;
@@ -38,6 +39,7 @@ pub mod profiler;
 mod rng;
 pub mod stats;
 
+pub use checkpoint::{SnapError, SnapReader, SnapWriter};
 pub use cycles::{ClockRatio, Cycle};
 pub use events::EventQueue;
 pub use faults::{FaultConfig, FaultPlan, InjectedFaults};

@@ -15,6 +15,7 @@
 
 use std::collections::VecDeque;
 
+use crate::checkpoint::{SnapError, SnapReader, SnapWriter};
 use crate::Cycle;
 
 /// Bounded FIFO of per-access read floors implementing the depth-k pacing
@@ -90,6 +91,33 @@ impl FloorRing {
     /// Forgets all recorded floors (e.g. on controller reset).
     pub fn clear(&mut self) {
         self.floors.clear();
+    }
+
+    /// Serializes the recorded floors for a checkpoint (the depth comes
+    /// from configuration and is not written).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.floors.len());
+        for f in &self.floors {
+            w.put_u64(f.raw());
+        }
+    }
+
+    /// Restores the floors captured by [`FloorRing::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncation, or [`SnapError::Corrupt`] if the
+    /// snapshot holds more floors than this ring's configured depth.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.take_seq_len(8)?;
+        if n > self.depth {
+            return Err(SnapError::Corrupt("FloorRing overfull"));
+        }
+        self.floors.clear();
+        for _ in 0..n {
+            self.floors.push_back(Cycle(r.take_u64()?));
+        }
+        Ok(())
     }
 }
 

@@ -53,6 +53,17 @@ impl SimRng {
         SimRng::seed_from(self.next_u64() ^ salt.wrapping_mul(0xA24B_AED4_963E_E407))
     }
 
+    /// The raw 256-bit generator state (for checkpointing mid-stream).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured with [`SimRng::state`],
+    /// resuming the stream exactly where it left off.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SimRng { s }
+    }
+
     /// Returns the next 64 uniformly random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -221,6 +232,18 @@ mod tests {
         assert_eq!(rng.choose(&empty), None);
         let items = [1, 2, 3];
         assert!(items.contains(rng.choose(&items).unwrap()));
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut a = SimRng::seed_from(321);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = SimRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

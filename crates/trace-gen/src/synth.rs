@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use iroram_hash::mix64;
-use iroram_sim_engine::SimRng;
+use iroram_sim_engine::{SimRng, SnapError, SnapReader, SnapWriter};
 
 use crate::{Bench, TraceRecord, WorkloadSpec};
 
@@ -254,6 +254,62 @@ impl WorkloadGen {
     pub fn take_records(&mut self, n: usize) -> Vec<TraceRecord> {
         (0..n).map(|_| self.next_record()).collect()
     }
+
+    /// Serializes the generator's mutable cursors (RNG stream, per-stream
+    /// positions, chase cursor, mix rotation) for a checkpoint, recursing
+    /// into mix sub-generators. The spec, base offset, and Zipf tables are
+    /// configuration-derived and are not written.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        for s in self.rng.state() {
+            w.put_u64(s);
+        }
+        w.put_usize(self.stream_pos.len());
+        for &p in &self.stream_pos {
+            w.put_u64(p);
+        }
+        w.put_u64(self.chase);
+        w.put_usize(self.mix.len());
+        for g in &self.mix {
+            g.save_state(w);
+        }
+        w.put_usize(self.mix_next);
+    }
+
+    /// Restores cursors written by [`WorkloadGen::save_state`] into this
+    /// generator, which must have been built from the same bench/spec/seed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapError`] on truncation, or [`SnapError::Corrupt`] when the
+    /// stream/mix counts disagree with this generator's configuration.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let mut rng_state = [0u64; 4];
+        for s in &mut rng_state {
+            *s = r.take_u64()?;
+        }
+        self.rng = SimRng::from_state(rng_state);
+        let n = r.take_seq_len(8)?;
+        if n != self.stream_pos.len() {
+            return Err(SnapError::Corrupt("stream cursor count mismatch"));
+        }
+        for p in self.stream_pos.iter_mut() {
+            *p = r.take_u64()?;
+        }
+        self.chase = r.take_u64()?;
+        let n = r.take_seq_len(8)?;
+        if n != self.mix.len() {
+            return Err(SnapError::Corrupt("mix sub-generator count mismatch"));
+        }
+        for g in self.mix.iter_mut() {
+            g.restore_state(r)?;
+        }
+        let next = r.take_usize()?;
+        if !self.mix.is_empty() && next >= self.mix.len() {
+            return Err(SnapError::Corrupt("mix rotation out of range"));
+        }
+        self.mix_next = next;
+        Ok(())
+    }
 }
 
 impl Iterator for WorkloadGen {
@@ -371,6 +427,35 @@ mod tests {
             light > heavy,
             "lighter benchmark has larger gaps ({light} vs {heavy})"
         );
+    }
+
+    #[test]
+    fn save_restore_resumes_every_bench_identically() {
+        for bench in crate::ALL_BENCHES {
+            let mut a = WorkloadGen::for_bench(bench, 1 << 14, 21);
+            a.take_records(777);
+            let mut w = SnapWriter::new();
+            a.save_state(&mut w);
+            let bytes = w.into_bytes();
+            let mut b = WorkloadGen::for_bench(bench, 1 << 14, 21);
+            let mut r = SnapReader::new(&bytes);
+            b.restore_state(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(a.take_records(500), b.take_records(500), "{bench:?}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_generator_shape() {
+        let mut a = WorkloadGen::for_bench(Bench::Mix, 3 << 12, 21);
+        a.take_records(10);
+        let mut w = SnapWriter::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+        // A non-mix generator has no sub-generators: shape mismatch.
+        let mut b = WorkloadGen::for_bench(Bench::Mcf, 3 << 12, 21);
+        let mut r = SnapReader::new(&bytes);
+        assert!(b.restore_state(&mut r).is_err());
     }
 
     #[test]
