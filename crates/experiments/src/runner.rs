@@ -444,7 +444,7 @@ pub fn run_cell_checked_at(
                 return Ok(report);
             }
             Ok(Err(e)) => (e.to_string(), e.is_transient()),
-            Err(payload) => (panic_message(&payload), false),
+            Err(cause) => (panic_message(&cause), false),
         };
         if let Some(spec) = ckpt {
             let _ = std::fs::remove_file(&spec.path);
@@ -462,10 +462,10 @@ pub fn run_cell_checked_at(
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
+fn panic_message(cause: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = cause.downcast_ref::<&str>() {
         format!("panic: {s}")
-    } else if let Some(s) = payload.downcast_ref::<String>() {
+    } else if let Some(s) = cause.downcast_ref::<String>() {
         format!("panic: {s}")
     } else {
         "panic: <non-string payload>".to_owned()

@@ -212,7 +212,15 @@ fn lex_string(src: &str, mut i: usize, mut line: u32) -> (String, usize, u32) {
     while i < b.len() {
         match b[i] {
             b'"' => return (src[start..i].to_owned(), i + 1, line),
-            b'\\' => i += 2,
+            b'\\' => {
+                // A line-continuation escape (`\` before a newline) still
+                // ends a source line: count it or every token after the
+                // string reports a too-small line number.
+                if b.get(i + 1) == Some(&b'\n') {
+                    line += 1;
+                }
+                i += 2;
+            }
             b'\n' => {
                 line += 1;
                 i += 1;
@@ -360,5 +368,12 @@ mod tests {
         assert!(toks
             .iter()
             .any(|t| matches!(&t.kind, TokKind::Str(s) if s == "t_interval")));
+    }
+
+    #[test]
+    fn line_continuation_escape_counts_the_newline() {
+        let toks = lex("let s = \"a\\\nb\";\nlet x = 1;\n");
+        let x = toks.iter().find(|t| t.ident() == Some("x")).unwrap();
+        assert_eq!(x.line, 3);
     }
 }

@@ -1,8 +1,9 @@
-//! `iroram-lint`: an offline, dependency-free static-analysis pass that
-//! enforces the simulator's determinism, panic-freedom and config-coverage
-//! contracts (see `DESIGN.md` § "Static guarantees").
+//! `iroram-lint`: an offline, dependency-free static-analysis engine that
+//! enforces the simulator's determinism, panic-freedom, config-coverage,
+//! obliviousness, crash-consistency and scheduling contracts (see
+//! `DESIGN.md` § "Static guarantees").
 //!
-//! Three passes run over the workspace:
+//! Seven passes run over the workspace:
 //!
 //! 1. **determinism** — no `HashMap`/`HashSet`/`Instant`/`SystemTime`/env
 //!    reads in report-affecting crates outside test code, unless annotated.
@@ -10,17 +11,34 @@
 //!    ratcheted by `lint-ratchet.toml`: counts can only go down.
 //! 3. **config** — every `SystemConfig` field participates in the resume
 //!    journal fingerprint, the CLI `--set` table, and `DESIGN.md`.
+//! 4. **secret-flow** — taint tracking from secret sources (payloads,
+//!    PosMap leaves, stash occupancy) to branches and indexing.
+//! 5. **snapshot-drift** — every field of a `save_state`/`restore_state`
+//!    type is referenced in both methods.
+//! 6. **panic-reach** — a cross-crate call-graph walk from the per-slot
+//!    entry points budgets transitively reachable panic sites.
+//! 7. **thread-order** — parallelism primitives stay confined to the
+//!    sanctioned scoped-worker/merge sites.
 //!
-//! Findings are machine-readable lines: `file:line rule message`.
-//! Inline exemptions: `// lint: allow(<rule>, <reason>)` on the flagged
-//! line or the line above it; the reason is mandatory.
+//! Findings are machine-readable lines (`file:line rule message`) or a
+//! JSON document (`--format json`, see [`json`]). Inline exemptions:
+//! `// lint: allow(<rule>, <reason>)` on the flagged line, the line above
+//! it, or covering the statement that starts there; the reason is
+//! mandatory, and allows that no longer suppress anything are themselves
+//! findings.
 
 pub mod config;
 pub mod determinism;
+pub mod json;
 pub mod lexer;
 pub mod panics;
+pub mod parser;
 pub mod ratchet;
+pub mod reach;
+pub mod secret;
+pub mod snapshot;
 pub mod source;
+pub mod threads;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -128,7 +146,11 @@ pub fn run(root: &Path, fix_ratchet: bool) -> Result<Outcome, String> {
         findings.extend(determinism::check(f));
     }
 
-    // Pass 2: panic-freedom ratchet.
+    // Pass 2: panic-freedom ratchet over the hot-path files, and pass 6:
+    // panic reachability from the per-slot entry points through helper
+    // crates. Both budget against `lint-ratchet.toml` (reach counts under
+    // `reach:`-prefixed sections), so --fix-ratchet rewrites one combined
+    // inventory.
     let mut counted = ratchet::Ratchet::new();
     for hot in HOT_PATH_FILES {
         let Some(f) = files.iter().find(|f| f.rel_path == hot) else {
@@ -136,15 +158,41 @@ pub fn run(root: &Path, fix_ratchet: bool) -> Result<Outcome, String> {
         };
         counted.insert(hot.to_owned(), panics::count(f));
     }
+    let reach_analysis = reach::analyze(&files);
+    findings.extend(reach_analysis.findings);
+    let mut combined = counted.clone();
+    for (file, sites) in &reach_analysis.sites {
+        combined.insert(
+            format!("{}{file}", reach::REACH_PREFIX),
+            reach::counts_of(sites),
+        );
+    }
     let ratchet_path = root.join(RATCHET_FILE);
     if fix_ratchet {
-        std::fs::write(&ratchet_path, ratchet::to_string(&counted))
+        std::fs::write(&ratchet_path, ratchet::to_string(&combined))
             .map_err(|e| format!("cannot write {}: {e}", ratchet_path.display()))?;
     }
     let budget_text = std::fs::read_to_string(&ratchet_path).unwrap_or_default();
     match ratchet::parse(&budget_text) {
         Ok(budget) => {
-            findings.extend(panics::check_against_ratchet(&counted, &budget, RATCHET_FILE));
+            let mut budget_hot = ratchet::Ratchet::new();
+            let mut budget_reach = ratchet::Ratchet::new();
+            for (file, cats) in budget {
+                match file.strip_prefix(reach::REACH_PREFIX) {
+                    Some(rest) => budget_reach.insert(rest.to_owned(), cats),
+                    None => budget_hot.insert(file, cats),
+                };
+            }
+            findings.extend(panics::check_against_ratchet(
+                &counted,
+                &budget_hot,
+                RATCHET_FILE,
+            ));
+            findings.extend(reach::check(
+                &reach_analysis.sites,
+                &budget_reach,
+                RATCHET_FILE,
+            ));
         }
         Err(e) => findings.push(Finding {
             file: RATCHET_FILE.to_owned(),
@@ -169,6 +217,25 @@ pub fn run(root: &Path, fix_ratchet: bool) -> Result<Outcome, String> {
         design: &design,
         design_path: DESIGN_FILE,
     }));
+
+    // Pass 4: secret-flow taint tracking.
+    for f in &files {
+        findings.extend(secret::check(f));
+    }
+
+    // Pass 5: snapshot-drift (cross-file, crate-scoped method lookup).
+    findings.extend(snapshot::check(&files));
+
+    // Pass 7: thread-order.
+    for f in &files {
+        findings.extend(threads::check(f));
+    }
+
+    // Annotation hygiene, part two — after every pass has consulted the
+    // allows: any reasoned allow that suppressed nothing is stale.
+    for f in &files {
+        findings.extend(source::unused_allow_findings(f));
+    }
 
     findings.sort_by(|a, b| {
         (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))

@@ -1,21 +1,30 @@
-//! The `iroram-lint` binary: runs the determinism, panic-ratchet and
-//! config-drift passes over the workspace and prints machine-readable
-//! findings (`file:line rule message`). Exit 0 = clean, 1 = findings,
-//! 2 = usage or I/O error.
+//! The `iroram-lint` binary: runs the determinism, panic-ratchet,
+//! config-drift, secret-flow, snapshot-drift, panic-reach and thread-order
+//! passes over the workspace and prints machine-readable findings.
+//! Exit 0 = clean, 1 = findings, 2 = usage or I/O error.
 
 use std::path::PathBuf;
 
 const USAGE: &str = "\
-usage: iroram-lint [--root DIR] [--fix-ratchet]
+usage: iroram-lint [--root DIR] [--fix-ratchet] [--format text|json]
   --root DIR     workspace root (default: walk up from the current directory)
-  --fix-ratchet  rewrite lint-ratchet.toml from the current hot-path counts
-Findings are printed one per line as `file:line rule message`.
-Exemptions: `// lint: allow(<rule>, <reason>)` on the flagged line or the
-line above it (rules: determinism, panic, config; the reason is mandatory).";
+  --fix-ratchet  rewrite lint-ratchet.toml from the current hot-path and
+                 reachability counts
+  --format FMT   `text` (default): one `file:line rule message` per line;
+                 `json`: a stable document with files_scanned and findings
+Exemptions: `// lint: allow(<rule>, <reason>)` on the flagged line, the line
+above it, or the statement starting there (rules: determinism, panic, config,
+secret-flow, snapshot-drift, thread-order; the reason is mandatory).";
+
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() {
     let mut root: Option<PathBuf> = None;
     let mut fix_ratchet = false;
+    let mut format = Format::Text;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -26,6 +35,15 @@ fn main() {
                 match args.get(i) {
                     Some(dir) => root = Some(PathBuf::from(dir)),
                     None => die(2, "--root requires a directory"),
+                }
+            }
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("text") => format = Format::Text,
+                    Some("json") => format = Format::Json,
+                    Some(other) => die(2, &format!("unknown format `{other}`")),
+                    None => die(2, "--format requires `text` or `json`"),
                 }
             }
             "--help" | "-h" => {
@@ -46,8 +64,13 @@ fn main() {
     };
     match iroram_lint::run(&root, fix_ratchet) {
         Ok(outcome) => {
-            for f in &outcome.findings {
-                println!("{f}");
+            match format {
+                Format::Text => {
+                    for f in &outcome.findings {
+                        println!("{f}");
+                    }
+                }
+                Format::Json => print!("{}", iroram_lint::json::to_json(&outcome)),
             }
             eprintln!(
                 "iroram-lint: {} file(s) scanned, {} finding(s){}",

@@ -31,20 +31,33 @@ pub fn count(file: &SourceFile) -> BTreeMap<String, u64> {
         .iter()
         .map(|c| ((*c).to_owned(), 0))
         .collect();
+    for (cat, _) in sites(file, (0, file.tokens.len())) {
+        *counts.get_mut(cat).expect("all categories pre-seeded") += 1;
+    }
+    counts
+}
+
+/// Enumerates unexempted panic-capable sites within a half-open token
+/// range as `(category, line)` pairs, in token order. Sites in test code
+/// or covered by `lint: allow(panic, ...)` are skipped — shared by the
+/// whole-file ratchet count and the panic-reachability pass.
+pub fn sites(file: &SourceFile, range: (usize, usize)) -> Vec<(&'static str, u32)> {
     let toks = &file.tokens;
-    for (i, t) in toks.iter().enumerate() {
+    let mut out = Vec::new();
+    for i in range.0..range.1.min(toks.len()) {
+        let t = &toks[i];
         if file.in_test(i) || file.allowed(t.line, "panic") {
             continue;
         }
-        let cat: Option<&str> = match &t.kind {
+        let cat: Option<&'static str> = match &t.kind {
             TokKind::Ident(s) if s == "unwrap" || s == "expect" => toks
                 .get(i + 1)
                 .filter(|n| n.is_punct(b'('))
-                .map(|_| s.as_str()),
+                .map(|_| if s == "unwrap" { "unwrap" } else { "expect" }),
             TokKind::Ident(s) if s == "panic" || s == "unreachable" => toks
                 .get(i + 1)
                 .filter(|n| n.is_punct(b'!'))
-                .map(|_| s.as_str()),
+                .map(|_| if s == "panic" { "panic" } else { "unreachable" }),
             // An indexing expression: `[` directly after a value-producing
             // token (identifier, `)`, or `]`). Attribute `#[`, macro
             // `vec![`, types `: [u8; 4]`, and slice patterns follow other
@@ -59,10 +72,10 @@ pub fn count(file: &SourceFile) -> BTreeMap<String, u64> {
             _ => None,
         };
         if let Some(cat) = cat {
-            *counts.get_mut(cat).expect("all categories pre-seeded") += 1;
+            out.push((cat, t.line));
         }
     }
-    counts
+    out
 }
 
 /// Compares counted hot-path files against the ratchet.

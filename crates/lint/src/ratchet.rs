@@ -17,7 +17,9 @@ pub fn to_string(r: &Ratchet) -> String {
     let mut out = String::new();
     out.push_str("# iroram-lint panic-freedom ratchet: per-file budgets for panic-capable\n");
     out.push_str("# sites (unwrap/expect/panic!/unreachable!/slice-indexing) in hot-path\n");
-    out.push_str("# modules. Counts may only go down; regenerate after removing sites with:\n");
+    out.push_str("# modules, plus `reach:`-prefixed sections budgeting sites transitively\n");
+    out.push_str("# reachable from the per-slot entry points through helper crates.\n");
+    out.push_str("# Counts may only go down; regenerate after removing sites with:\n");
     out.push_str("#   cargo run -p lint --release -- --fix-ratchet\n");
     for (file, cats) in r {
         out.push('\n');

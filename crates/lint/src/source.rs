@@ -1,17 +1,29 @@
-//! Per-file analysis state: lexed tokens, test-item spans, and
-//! `// lint: allow(rule, reason)` annotations.
+//! Per-file analysis state: lexed tokens, parsed items, test-item spans,
+//! statement line spans, and `// lint: allow(rule, reason)` annotations.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use crate::lexer::{lex, TokKind, Token};
+use crate::parser::{self, ParsedFile};
 
-/// A lint-rule name an annotation can reference.
-pub const RULES: [&str; 3] = ["determinism", "panic", "config"];
+/// A lint-rule name an annotation can reference. (`panic-reach` findings
+/// are exempted at the *site* level with `allow(panic, ...)` — a declared
+/// can't-panic invariant means the same thing wherever the site is — so it
+/// is not a valid annotation rule.)
+pub const RULES: [&str; 6] = [
+    "determinism",
+    "panic",
+    "config",
+    "secret-flow",
+    "snapshot-drift",
+    "thread-order",
+];
 
 /// One parsed `lint: allow` annotation.
 #[derive(Debug, Clone)]
 pub struct Allow {
-    /// The rule being allowed (`determinism`, `panic`, `config`).
+    /// The rule being allowed (one of [`RULES`]).
     pub rule: String,
     /// The justification after the comma (may be empty — the annotation
     /// pass reports empty reasons).
@@ -27,25 +39,42 @@ pub struct SourceFile {
     pub rel_path: String,
     /// The token stream.
     pub tokens: Vec<Token>,
+    /// Item-level parse of the token stream (fns, structs, method owners).
+    pub parsed: ParsedFile,
     /// Parsed `lint: allow` annotations, keyed by comment line.
     pub allows: Vec<Allow>,
     /// Token-index ranges (half-open) lexically inside `#[test]` /
     /// `#[cfg(test)]` / `#[bench]` items. Determinism and panic findings
     /// inside these are skipped: test code does not affect reports.
     pub test_spans: Vec<(usize, usize)>,
+    /// Statement line extents `(first, last)`: runs of non-comment tokens
+    /// between `;` / `{` / `}` boundaries. An allow annotation attaches to
+    /// the statement starting on its own or the following line, so one
+    /// annotation covers a multi-line expression.
+    pub stmt_spans: Vec<(u32, u32)>,
+    /// Which allows suppressed at least one would-be finding (indices into
+    /// `allows`), recorded as the passes consult [`SourceFile::allowed`].
+    used_allows: RefCell<Vec<bool>>,
 }
 
 impl SourceFile {
-    /// Lexes `src` and derives annotations and test spans.
+    /// Lexes and parses `src`, deriving annotations, test spans and
+    /// statement spans.
     pub fn new(rel_path: String, src: &str) -> Self {
         let tokens = lex(src);
+        let parsed = parser::parse(&tokens);
         let allows = parse_allows(&tokens);
         let test_spans = find_test_spans(&tokens);
+        let stmt_spans = find_stmt_spans(&tokens);
+        let used = RefCell::new(vec![false; allows.len()]);
         SourceFile {
             rel_path,
             tokens,
+            parsed,
             allows,
             test_spans,
+            stmt_spans,
+            used_allows: used,
         }
     }
 
@@ -54,13 +83,49 @@ impl SourceFile {
         self.test_spans.iter().any(|&(a, b)| a <= i && i < b)
     }
 
-    /// Whether `rule` is allowed on `line`: an annotation covers its own
-    /// line and the line directly below it (so it can trail the flagged
-    /// code or sit on its own line above it).
+    /// Whether `rule` is allowed on `line`. An annotation covers:
+    ///
+    /// * its own line and the line directly below it (so it can trail the
+    ///   flagged code or sit on its own line above it), and
+    /// * the full extent of the *statement* that starts on its own line
+    ///   (a trailing comment on the statement's first line) or on the line
+    ///   directly below it (an annotation on its own line above a
+    ///   multi-line statement).
+    ///
+    /// Consulting this records the annotation as used; `lint: allow`s that
+    /// never suppress anything are themselves reported by the annotation
+    /// hygiene pass.
     pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        let mut hit = false;
+        for (idx, a) in self.allows.iter().enumerate() {
+            if a.rule != rule || a.reason.is_empty() {
+                continue;
+            }
+            let direct = a.line == line || a.line + 1 == line;
+            let via_stmt = self
+                .stmt_spans
+                .iter()
+                .any(|&(s, e)| (s == a.line || s == a.line + 1) && s <= line && line <= e);
+            if direct || via_stmt {
+                self.used_allows.borrow_mut()[idx] = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Allows (well-formed: known rule, non-empty reason) that never
+    /// suppressed a finding. Only meaningful after every pass has run.
+    pub fn unused_allows(&self) -> Vec<&Allow> {
+        let used = self.used_allows.borrow();
         self.allows
             .iter()
-            .any(|a| a.rule == rule && !a.reason.is_empty() && (a.line == line || a.line + 1 == line))
+            .enumerate()
+            .filter(|(i, a)| {
+                !used[*i] && RULES.contains(&a.rule.as_str()) && !a.reason.is_empty()
+            })
+            .map(|(_, a)| a)
+            .collect()
     }
 
     /// All string-literal contents in the file.
@@ -107,6 +172,36 @@ fn parse_allows(tokens: &[Token]) -> Vec<Allow> {
         });
     }
     out
+}
+
+/// Computes statement line extents: consecutive non-comment tokens between
+/// `;` / `{` / `}` boundaries form one statement; its extent is the min and
+/// max token line. Comments neither extend nor break a statement, so an
+/// annotation above a statement attaches to the whole expression even when
+/// it spans lines.
+fn find_stmt_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut cur: Option<(u32, u32)> = None;
+    for t in tokens {
+        match &t.kind {
+            TokKind::LineComment(_) => {}
+            TokKind::Punct(b';') | TokKind::Punct(b'{') | TokKind::Punct(b'}') => {
+                if let Some((s, e)) = cur.take() {
+                    spans.push((s, e.max(t.line)));
+                }
+            }
+            _ => {
+                cur = Some(match cur {
+                    Some((s, e)) => (s.min(t.line), e.max(t.line)),
+                    None => (t.line, t.line),
+                });
+            }
+        }
+    }
+    if let Some(span) = cur {
+        spans.push(span);
+    }
+    spans
 }
 
 /// Finds half-open token ranges of items marked `#[test]`, `#[cfg(test)]`
@@ -209,8 +304,8 @@ fn find_test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
     spans
 }
 
-/// Annotation hygiene findings: every `lint: allow` must name a known rule
-/// and carry a non-empty reason.
+/// Annotation hygiene findings, part one (run before the other passes):
+/// every `lint: allow` must name a known rule and carry a non-empty reason.
 pub fn annotation_findings(file: &SourceFile) -> Vec<crate::Finding> {
     let mut out = Vec::new();
     for a in &file.allows {
@@ -238,6 +333,25 @@ pub fn annotation_findings(file: &SourceFile) -> Vec<crate::Finding> {
         }
     }
     out
+}
+
+/// Annotation hygiene findings, part two (run after every other pass):
+/// well-formed allows that suppressed nothing are stale and must be
+/// removed, so the annotation inventory stays an honest map of the
+/// sanctioned exemptions.
+pub fn unused_allow_findings(file: &SourceFile) -> Vec<crate::Finding> {
+    file.unused_allows()
+        .into_iter()
+        .map(|a| crate::Finding {
+            file: file.rel_path.clone(),
+            line: a.line,
+            rule: "annotation".to_owned(),
+            message: format!(
+                "lint: allow({}) no longer suppresses anything — remove the stale exemption",
+                a.rule
+            ),
+        })
+        .collect()
 }
 
 /// Map from file line to allow annotations (diagnostic helper for tests).
@@ -321,6 +435,40 @@ mod tests {
     }
 
     #[test]
+    fn allow_covers_the_full_multiline_statement() {
+        // The allow sits above a statement spanning three lines: every
+        // line of that statement is covered, the next statement is not.
+        let src = "// lint: allow(secret-flow, fixture)\nlet throttle = occupancy > limit\n    || (degraded\n        && gate);\nlet other = 1;\n";
+        let f = SourceFile::new("x.rs".into(), src);
+        assert!(f.allowed(2, "secret-flow"));
+        assert!(f.allowed(3, "secret-flow"));
+        assert!(f.allowed(4, "secret-flow"));
+        assert!(!f.allowed(5, "secret-flow"));
+    }
+
+    #[test]
+    fn trailing_allow_covers_the_statement_it_starts() {
+        let src = "let x = first() // lint: allow(thread-order, fixture)\n    .second();\nlet y = 2;\n";
+        let f = SourceFile::new("x.rs".into(), src);
+        assert!(f.allowed(1, "thread-order"));
+        assert!(f.allowed(2, "thread-order"));
+        assert!(!f.allowed(3, "thread-order"));
+    }
+
+    #[test]
+    fn allow_above_one_struct_field_does_not_leak_to_the_next() {
+        // Field declarations are separated by commas, not semicolons, but
+        // the statement-span rule only extends an allow to a statement that
+        // *starts* adjacent to it — the field list started earlier, so only
+        // the direct-line rule applies.
+        let src = "struct S {\n    a: u64,\n    // lint: allow(snapshot-drift, scratch)\n    b: u64,\n    c: u64,\n}\n";
+        let f = SourceFile::new("x.rs".into(), src);
+        assert!(f.allowed(4, "snapshot-drift"));
+        assert!(!f.allowed(5, "snapshot-drift"), "must not cover field c");
+        assert!(!f.allowed(2, "snapshot-drift"), "must not cover field a");
+    }
+
+    #[test]
     fn missing_reason_is_reported() {
         let src = "x.unwrap(); // lint: allow(panic)\n";
         let f = SourceFile::new("x.rs".into(), src);
@@ -338,6 +486,25 @@ mod tests {
         let findings = annotation_findings(&f);
         assert_eq!(findings.len(), 1);
         assert!(findings[0].message.contains("unknown lint rule"));
+    }
+
+    #[test]
+    fn unused_allows_are_reported_after_the_passes_ran() {
+        let src = "// lint: allow(panic, nothing here panics anymore)\nlet a = 1;\nx.unwrap(); // lint: allow(panic, covered by the is_some above)\n";
+        let f = SourceFile::new("x.rs".into(), src);
+        // Simulate the panic pass consulting line 3 only.
+        assert!(f.allowed(3, "panic"));
+        let unused = unused_allow_findings(&f);
+        assert_eq!(unused.len(), 1, "{unused:?}");
+        assert_eq!(unused[0].line, 1);
+        assert!(unused[0].message.contains("no longer suppresses"));
+    }
+
+    #[test]
+    fn malformed_allows_are_not_double_reported_as_unused() {
+        let src = "// lint: allow(panic)\n// lint: allow(bogus, reason)\n";
+        let f = SourceFile::new("x.rs".into(), src);
+        assert!(unused_allow_findings(&f).is_empty());
     }
 
     #[test]

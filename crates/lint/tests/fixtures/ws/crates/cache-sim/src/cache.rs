@@ -3,3 +3,9 @@
 pub fn lookup(x: Option<u64>) -> u64 {
     x.unwrap_or(0)
 }
+
+/// A stale exemption: nothing near it trips the determinism pass.
+pub fn stale() -> u64 {
+    // lint: allow(determinism, stale fixture exemption that suppresses nothing)
+    9
+}

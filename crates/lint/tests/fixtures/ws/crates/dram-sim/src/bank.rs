@@ -1,0 +1,17 @@
+//! Fixture bank with a seeded snapshot-coverage gap.
+
+pub struct Bank {
+    pub open_row: u64,
+    /// Seeded drift: mutated every cycle but absent from the snapshot.
+    pub open_cycles: u64,
+}
+
+impl Bank {
+    pub fn save_state(&self, w: &mut Vec<u64>) {
+        w.push(self.open_row);
+    }
+
+    pub fn restore_state(&mut self, r: &[u64]) {
+        self.open_row = r[0];
+    }
+}

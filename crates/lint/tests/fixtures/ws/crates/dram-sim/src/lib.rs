@@ -1,2 +1,3 @@
 //! Fixture crate root.
+pub mod bank;
 pub mod system;

@@ -1,3 +1,4 @@
 //! Fixture crate root.
 pub mod journal;
 pub mod runner;
+pub mod workers;

@@ -1,0 +1,5 @@
+//! Fixture with a seeded unscoped spawn.
+
+pub fn fan_out() {
+    std::thread::spawn(|| {});
+}

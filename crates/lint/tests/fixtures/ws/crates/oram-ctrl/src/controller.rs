@@ -1,5 +1,11 @@
-//! Fixture hot-path file, clean.
+//! Fixture hot-path file, clean (and the reach pass's first entry point).
 
 pub fn step() -> u64 {
     1
+}
+
+/// Per-slot entry point: reaches the seeded unwrap in
+/// `sim-engine/src/reach_helper.rs` through the cross-crate call graph.
+pub fn process_slot(x: Option<u64>) -> u64 {
+    helper_fetch(x)
 }

@@ -1,5 +1,10 @@
-//! Fixture hot-path file, clean.
+//! Fixture hot-path file, clean (and the reach pass's second entry point).
 
 pub fn issue() -> u64 {
     3
+}
+
+/// Per-slot entry point with no reachable panic sites.
+pub fn process_slot() -> u64 {
+    issue()
 }

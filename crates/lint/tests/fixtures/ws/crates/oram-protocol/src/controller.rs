@@ -1,5 +1,13 @@
-//! Fixture hot-path file, clean.
+//! Fixture hot-path file with a seeded secret-dependent branch.
 
 pub fn access() -> u64 {
     4
+}
+
+pub fn serve(b: &Block) -> u64 {
+    if b.payload > 0 {
+        1
+    } else {
+        0
+    }
 }

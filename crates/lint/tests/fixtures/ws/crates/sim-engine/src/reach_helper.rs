@@ -1,0 +1,5 @@
+//! Fixture helper with a seeded panic site reachable from `process_slot`.
+
+pub fn helper_fetch(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

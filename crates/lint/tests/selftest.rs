@@ -2,11 +2,21 @@
 //! workspace (`tests/fixtures/ws`) and over the real repository.
 //!
 //! The fixture plants exactly one violation per rule:
-//! * determinism — a `HashMap` construction in `sim-engine` (line 4);
+//! * determinism — a `HashMap` construction in `sim-engine/src/lib.rs:4`;
 //! * panic — one `unwrap` in `oram-protocol/src/stash.rs` against a
 //!   zero budget;
 //! * config — `SystemConfig::ghost_knob` (line 8) absent from the
-//!   fingerprint, the `--set` table, and `DESIGN.md`.
+//!   fingerprint, the `--set` table, and `DESIGN.md` (three findings);
+//! * secret-flow — a branch on `.payload` in
+//!   `oram-protocol/src/controller.rs:8`;
+//! * snapshot-drift — `Bank::open_cycles` (`dram-sim/src/bank.rs:6`)
+//!   absent from both `save_state` and `restore_state`;
+//! * panic-reach — an `unwrap` in `sim-engine/src/reach_helper.rs:4`
+//!   reachable from `process_slot` against a zero `reach:` budget;
+//! * thread-order — a `std::thread::spawn` in
+//!   `experiments/src/workers.rs:4`;
+//! * annotation — a stale `lint: allow(determinism)` in
+//!   `cache-sim/src/cache.rs:9` that suppresses nothing.
 
 use std::path::{Path, PathBuf};
 
@@ -47,9 +57,43 @@ fn fixture_reports_each_seeded_violation_at_its_line() {
     assert!(config.iter().any(|f| f.message.contains("CLI")));
     assert!(config.iter().any(|f| f.message.contains("DESIGN.md")));
 
+    let secret = by_rule(&out.findings, "secret-flow");
+    assert_eq!(secret.len(), 1, "{secret:?}");
+    assert_eq!(secret[0].file, "crates/oram-protocol/src/controller.rs");
+    assert_eq!(secret[0].line, 8);
+    assert!(secret[0].message.contains("secret field `.payload`"));
+    assert!(secret[0].message.contains("branch condition"));
+
+    let snap = by_rule(&out.findings, "snapshot-drift");
+    assert_eq!(snap.len(), 1, "{snap:?}");
+    assert_eq!(snap[0].file, "crates/dram-sim/src/bank.rs");
+    assert_eq!(snap[0].line, 6);
+    assert!(snap[0].message.contains("`open_cycles` of `Bank`"));
+    assert!(snap[0].message.contains("save_state and restore_state"));
+
+    let reach = by_rule(&out.findings, "panic-reach");
+    assert_eq!(reach.len(), 1, "{reach:?}");
+    assert_eq!(reach[0].file, "crates/sim-engine/src/reach_helper.rs");
+    assert_eq!(reach[0].line, 4);
+    assert!(reach[0].message.contains("1 `unwrap` site(s) reachable"));
+    assert!(reach[0].message.contains("ratchet allows 0"));
+
+    let threads = by_rule(&out.findings, "thread-order");
+    assert_eq!(threads.len(), 1, "{threads:?}");
+    assert_eq!(threads[0].file, "crates/experiments/src/workers.rs");
+    assert_eq!(threads[0].line, 4);
+    assert!(threads[0].message.contains("`thread::spawn`"));
+
+    let notes = by_rule(&out.findings, "annotation");
+    assert_eq!(notes.len(), 1, "{notes:?}");
+    assert_eq!(notes[0].file, "crates/cache-sim/src/cache.rs");
+    assert_eq!(notes[0].line, 9);
+    assert!(notes[0].message.contains("no longer suppresses anything"));
+
     // Nothing else: the annotated index in dram-sim/system.rs, the
-    // `unwrap_or` in cache-sim, and the covered fields are all clean.
-    assert_eq!(out.findings.len(), 5, "{:#?}", out.findings);
+    // `unwrap_or` in cache-sim, the clean `process_slot` chain in rho,
+    // and the covered fields are all clean.
+    assert_eq!(out.findings.len(), 10, "{:#?}", out.findings);
 }
 
 #[test]
@@ -70,7 +114,16 @@ fn fixture_findings_are_machine_readable_and_sorted() {
 }
 
 #[test]
-fn fix_ratchet_locks_in_the_seeded_regression() {
+fn json_output_round_trips() {
+    let out = run(&fixture_root(), false).expect("fixture lint runs");
+    let doc = iroram_lint::json::to_json(&out);
+    let parsed = iroram_lint::json::parse_findings(&doc).expect("own JSON parses");
+    assert_eq!(parsed, out.findings, "JSON round trip must be lossless");
+    assert!(doc.contains("\"files_scanned\""), "{doc}");
+}
+
+#[test]
+fn fix_ratchet_locks_in_the_seeded_regressions() {
     // Copy the fixture so --fix-ratchet can rewrite its ratchet file.
     let dst = std::env::temp_dir().join(format!("iroram-lint-fix-{}", std::process::id()));
     copy_tree(&fixture_root(), &dst);
@@ -80,11 +133,23 @@ fn fix_ratchet_locks_in_the_seeded_regression() {
         "panic pass must be green after --fix-ratchet: {:#?}",
         out.findings
     );
+    assert!(
+        by_rule(&out.findings, "panic-reach").is_empty(),
+        "panic-reach pass must be green after --fix-ratchet: {:#?}",
+        out.findings
+    );
     // The other passes are untouched by the ratchet rewrite.
     assert_eq!(by_rule(&out.findings, "determinism").len(), 1);
     assert_eq!(by_rule(&out.findings, "config").len(), 3);
+    assert_eq!(by_rule(&out.findings, "secret-flow").len(), 1);
+    assert_eq!(by_rule(&out.findings, "snapshot-drift").len(), 1);
+    assert_eq!(by_rule(&out.findings, "thread-order").len(), 1);
     let locked = std::fs::read_to_string(dst.join("lint-ratchet.toml")).unwrap();
     assert!(locked.contains("unwrap = 1"), "{locked}");
+    assert!(
+        locked.contains("[\"reach:crates/sim-engine/src/reach_helper.rs\"]"),
+        "{locked}"
+    );
     std::fs::remove_dir_all(&dst).ok();
 }
 

@@ -108,18 +108,25 @@ pub struct TimedController {
     dram: DramSystem,
     /// Precomputed path→line-address table over the memory-backed layout
     /// (the layout is fixed at construction, so this never changes).
+    // lint: allow(snapshot-drift, precomputed from the layout at construction)
     path_table: PathTable,
     /// Reused request buffer for path read/write-back batches: filled from
     /// `path_table` per path, rewritten in place for the write phase.
+    // lint: allow(snapshot-drift, per-call scratch, cleared before each use)
     reqs_buf: Vec<MemRequest>,
     /// Pipelined mode's deferred write-back batch (the read-priority write
     /// buffer): slot `i`'s writes wait here until slot `i+1`'s read batch
     /// has been scheduled. Always empty at effective depth 1.
     write_buf: Vec<MemRequest>,
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     t_interval: u64,
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     timing_protection: bool,
+    // lint: allow(snapshot-drift, configuration (a pure cycle-ratio converter))
     clock: ClockRatio,
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     decrypt_lat: u64,
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     front_hit_lat: u64,
     next_slot: Cycle,
     queue: VecDeque<OramRequest>,
@@ -136,12 +143,15 @@ pub struct TimedController {
     /// Fault plan (None when every rate is zero — the common case).
     faults: Option<FaultPlan>,
     /// CPU cycles charged per detected-and-repaired corrupted bucket.
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     refetch_lat: u64,
     /// Hard stash limit; staying over it past the bounded grace is a
     /// transient `SimError`.
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     stash_hard_limit: usize,
     /// Degradation watermark (¾ of the hard limit): above it, new-work
     /// admission is throttled so background eviction can drain the stash.
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     degrade_watermark: usize,
     /// Integrity detections already charged a re-fetch penalty.
     seen_detected: u64,
@@ -471,6 +481,7 @@ impl TimedController {
         // transient error fires. Clean runs never cross the watermark, so
         // the path below is byte-identical to the pre-degradation rule.
         let occupancy = self.protocol.stash_len();
+        // lint: allow(secret-flow, overflow stats counter; occupancy never alters the issued DRAM schedule)
         if occupancy > self.protocol.config().stash_capacity {
             self.overflow_slots += 1;
         }
@@ -480,9 +491,11 @@ impl TimedController {
         }
         self.was_bg_pending = pending;
         let degraded = occupancy > self.degrade_watermark;
+        // lint: allow(secret-flow, degraded-slot stats counter; the admission gate below is the sanctioned throttle)
         if degraded {
             self.degraded_slots += 1;
         }
+        // lint: allow(secret-flow, documented graceful-degradation exit; clean runs stay under the watermark so the schedule is unchanged)
         if occupancy > self.stash_hard_limit {
             self.overflow_grace += 1;
             if self.overflow_grace > OVERFLOW_GRACE_SLOTS {
@@ -604,6 +617,7 @@ impl TimedController {
             // Degraded mode: admission is throttled — eligible new work
             // waits while background eviction (which already outranks
             // admission) drains the stash back under the watermark.
+            // lint: allow(secret-flow, documented stash-pressure admission throttle; clean runs never cross the watermark (DESIGN.md))
             if throttle {
                 if self.queue.front().is_some_and(|r| r.arrival <= t) || !self.wb_queue.is_empty()
                 {
@@ -746,6 +760,7 @@ impl TimedController {
         if self
             .pipe
             .as_mut()
+            // lint: allow(secret-flow, leaf already revealed by this path access; the conflict check compares only public path addresses)
             .is_some_and(|p| p.pending_conflicts(&self.path_table, path.leaf.0, false))
         {
             if let Some(done) = self.flush_writes() {
@@ -753,6 +768,7 @@ impl TimedController {
             }
         }
         if let Some(pipe) = &mut self.pipe {
+            // lint: allow(secret-flow, leaf already revealed by this path access; the hold compares only public path addresses)
             if let Some(hold) = pipe.conflict_hold(&self.path_table, path.leaf.0, false, arrival) {
                 arrival = hold;
             }

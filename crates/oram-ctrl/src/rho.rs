@@ -139,10 +139,14 @@ pub struct RhoController {
     /// Small-tree protocol (immediate remapping, on-chip position map).
     pub small: PathOram,
     dram: DramSystem,
+    // lint: allow(snapshot-drift, precomputed from the layout at construction)
     main_table: PathTable,
+    // lint: allow(snapshot-drift, precomputed from the layout at construction)
     small_table: PathTable,
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     small_offset: u64,
     /// Reused path request buffer (reads rewritten in place into writes).
+    // lint: allow(snapshot-drift, per-call scratch, cleared before each use)
     reqs_buf: Vec<MemRequest>,
     /// Pipelined mode's deferred write-back batch (read-priority write
     /// buffer, shared by both trees — the slot schedule is one stream).
@@ -154,10 +158,15 @@ pub struct RhoController {
     directory: BTreeMap<u64, u64>,
     last_use: Vec<u64>,
     use_tick: u64,
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     t_interval: u64,
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     timing_protection: bool,
+    // lint: allow(snapshot-drift, configuration (a pure cycle-ratio converter))
     clock: ClockRatio,
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     decrypt_lat: u64,
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     front_hit_lat: u64,
     next_slot: Cycle,
     slot_idx: u64,
@@ -173,8 +182,10 @@ pub struct RhoController {
     slot_stats: SlotStats,
     last_write_done: Cycle,
     /// Recently missed addresses (install gate).
+    // lint: allow(snapshot-drift, rebuilt from the serialized reuse_order deque on restore)
     reuse_filter: BTreeSet<u64>,
     reuse_order: VecDeque<u64>,
+    // lint: allow(snapshot-drift, configuration; restore validates the snapshot against it)
     reuse_capacity: usize,
     /// Audit state (main tree only: small-tree slots are re-used by
     /// different data blocks, so their payloads carry no oracle contract).
@@ -182,12 +193,15 @@ pub struct RhoController {
     /// Fault plan (None when every rate is zero — the common case).
     faults: Option<FaultPlan>,
     /// CPU cycles charged per detected-and-repaired corrupted bucket.
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     refetch_lat: u64,
     /// Hard limit on either stash; staying over it past the bounded grace
     /// is a transient `SimError`.
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     stash_hard_limit: usize,
     /// Degradation watermark (¾ of the hard limit); see
     /// [`crate::TimedController`].
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     degrade_watermark: usize,
     /// Integrity detections (both trees) already charged a penalty.
     seen_detected: u64,
@@ -796,6 +810,7 @@ impl RhoController {
         }
         // Stash pressure over both trees, plus the hard limit.
         let occupancy = self.main.stash_len().max(self.small.stash_len());
+        // lint: allow(secret-flow, overflow stats counter; occupancy never alters the issued DRAM schedule)
         if occupancy > self.main.config().stash_capacity {
             self.overflow_slots += 1;
         }
@@ -809,9 +824,11 @@ impl RhoController {
         // bounded grace window lets eviction recover before the typed
         // overflow error fires.
         let degraded = occupancy > self.degrade_watermark;
+        // lint: allow(secret-flow, degraded-slot stats counter; the admission gate below is the sanctioned throttle)
         if degraded {
             self.degraded_slots += 1;
         }
+        // lint: allow(secret-flow, documented graceful-degradation exit; clean runs stay under the watermark so the schedule is unchanged)
         if occupancy > self.stash_hard_limit {
             self.overflow_grace += 1;
             if self.overflow_grace > OVERFLOW_GRACE_SLOTS {
@@ -1169,6 +1186,7 @@ impl RhoController {
         if self
             .pipe
             .as_mut()
+            // lint: allow(secret-flow, leaf already revealed by this path access; the conflict check compares only public path addresses)
             .is_some_and(|p| p.pending_conflicts(table, path.leaf.0, small_tree))
         {
             if let Some(done) = self.flush_writes() {
@@ -1181,6 +1199,7 @@ impl RhoController {
             (&self.main_table, 0)
         };
         if let Some(pipe) = &mut self.pipe {
+            // lint: allow(secret-flow, leaf already revealed by this path access; the hold compares only public path addresses)
             if let Some(hold) = pipe.conflict_hold(table, path.leaf.0, small_tree, arrival) {
                 arrival = hold;
             }

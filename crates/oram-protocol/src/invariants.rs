@@ -152,6 +152,7 @@ impl PathOram {
                     cap: layout.z_of(level),
                 });
             }
+            // lint: allow(secret-flow, functional-oracle invariant audit; runs off the timed path and issues no DRAM traffic)
             if layout.bucket_on_path(block.leaf, level) != bucket {
                 return Err(InvariantError::OffPath {
                     addr: block.addr,
@@ -159,6 +160,7 @@ impl PathOram {
                     bucket,
                 });
             }
+            // lint: allow(secret-flow, functional-oracle invariant audit; runs off the timed path and issues no DRAM traffic)
             if self.posmap().leaf_of(block.addr) != Some(block.leaf) {
                 return Err(InvariantError::LeafMismatch { addr: block.addr });
             }
@@ -182,6 +184,7 @@ impl PathOram {
                         cap: layout.z_of(level),
                     });
                 }
+                // lint: allow(secret-flow, functional-oracle invariant audit; runs off the timed path and issues no DRAM traffic)
                 if layout.bucket_on_path(block.leaf, level) != bucket {
                     return Err(InvariantError::OffPath {
                         addr: block.addr,
@@ -189,6 +192,7 @@ impl PathOram {
                         bucket,
                     });
                 }
+                // lint: allow(secret-flow, functional-oracle invariant audit; runs off the timed path and issues no DRAM traffic)
                 if self.posmap().leaf_of(block.addr) != Some(block.leaf) {
                     return Err(InvariantError::LeafMismatch { addr: block.addr });
                 }
@@ -197,6 +201,7 @@ impl PathOram {
         // Stash blocks (leaf must agree with the map; position free).
         for block in self.stash().iter() {
             record(block.addr, "stash".to_owned())?;
+            // lint: allow(secret-flow, functional-oracle invariant audit; runs off the timed path and issues no DRAM traffic)
             if self.posmap().leaf_of(block.addr) != Some(block.leaf) {
                 return Err(InvariantError::LeafMismatch { addr: block.addr });
             }

@@ -148,9 +148,11 @@ impl PlbStatus {
 /// PosMap₃, and the PLB.
 #[derive(Debug, Clone)]
 pub struct PosMapSystem {
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     space: AddressSpace,
     leaf_of: Vec<u64>,
     plb: SetAssocCache,
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     num_leaves: u64,
     /// PLB lookups that hit (PosMap₁ resolved without a path access).
     pub plb_hits: u64,

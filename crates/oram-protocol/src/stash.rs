@@ -69,15 +69,21 @@ pub struct Stash {
     /// iteration for free (its counting sort becomes fully
     /// comparison-free).
     blocks: Vec<StoredBlock>,
+    // lint: allow(snapshot-drift, configuration, fixed at construction for the whole run)
     capacity: usize,
     max_occupancy: usize,
     // Write-back planning scratch, kept across calls so the per-path hot
     // loop allocates nothing. Not logical state: always left consistent but
     // meaningless between calls.
+    // lint: allow(snapshot-drift, per-call scratch, cleared before each use)
     cands: Vec<(u32, u32)>,
+    // lint: allow(snapshot-drift, per-call scratch, cleared before each use)
     sorted: Vec<(u32, u32)>,
+    // lint: allow(snapshot-drift, per-call scratch, cleared before each use)
     offsets: Vec<usize>,
+    // lint: allow(snapshot-drift, per-call scratch, cleared before each use)
     placed: Vec<bool>,
+    // lint: allow(snapshot-drift, per-call scratch, cleared before each use)
     skipped: Vec<(u32, u32)>,
 }
 
@@ -369,13 +375,16 @@ impl Stash {
         self.offsets.resize(levels, 0);
         for (i, b) in self.blocks.iter().enumerate() {
             let depth = layout.common_depth(b.leaf, leaf);
+            // lint: allow(secret-flow, on-chip write-back planning; the path is read and written in full regardless of placement)
             self.offsets[depth] += 1;
             self.cands.push((depth as u32, i as u32));
         }
         let n = self.cands.len();
         let mut acc = 0usize;
         for depth in (0..levels).rev() {
+            // lint: allow(secret-flow, on-chip write-back planning; the path is read and written in full regardless of placement)
             let count = self.offsets[depth];
+            // lint: allow(secret-flow, on-chip write-back planning; the path is read and written in full regardless of placement)
             self.offsets[depth] = acc;
             acc += count;
         }
@@ -383,8 +392,11 @@ impl Stash {
         self.sorted.resize(n, (0, 0));
         for i in 0..n {
             let (depth, idx) = self.cands[i];
+            // lint: allow(secret-flow, on-chip write-back planning; the path is read and written in full regardless of placement)
             let pos = self.offsets[depth as usize];
+            // lint: allow(secret-flow, on-chip write-back planning; the path is read and written in full regardless of placement)
             self.offsets[depth as usize] += 1;
+            // lint: allow(secret-flow, on-chip write-back planning; the path is read and written in full regardless of placement)
             self.sorted[pos] = (depth, idx);
         }
         self.placed.clear();
@@ -407,6 +419,7 @@ impl Stash {
             while cursor < n && plan.levels[slot_idx].len() < cap {
                 // lint: allow(panic, cursor < n and indices come from enumerate)
                 let (depth, idx) = self.sorted[cursor];
+                // lint: allow(secret-flow, on-chip write-back planning; the path is read and written in full regardless of placement)
                 if (depth as usize) < level {
                     break;
                 }
@@ -433,6 +446,7 @@ impl Stash {
                     }
                     // lint: allow(panic, k < skipped.len())
                     let (depth, idx) = self.skipped[k];
+                    // lint: allow(secret-flow, on-chip write-back planning; the path is read and written in full regardless of placement)
                     if (depth as usize) < level {
                         continue;
                     }

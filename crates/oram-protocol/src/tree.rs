@@ -46,6 +46,7 @@ const EMPTY_SLOT: Slot = Slot {
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OramTree {
+    // lint: allow(snapshot-drift, configuration; restore cross-checks the snapshot geometry against it)
     layout: TreeLayout,
     slots: Vec<Slot>,
     /// Real blocks per level, maintained incrementally for O(L) utilization
@@ -64,6 +65,7 @@ pub struct OramTree {
     /// Checksum of an all-dummy bucket at each level (a function of `Z`
     /// alone): what a bucket's checksum becomes after a take, precomputed
     /// so the fault-free fast paths never re-read slots to re-sum.
+    // lint: allow(snapshot-drift, derived from the layout at construction)
     empty_sums: Vec<u64>,
     /// Outstanding injected corruptions: flat bucket index → `(slot, mask)`
     /// pairs whose XOR has been applied to the stored payload but not yet

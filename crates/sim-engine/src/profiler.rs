@@ -66,13 +66,16 @@ impl Phase {
     }
 }
 
+// lint: allow(thread-order, opt-in stderr diagnostics; figure outputs never read these counters)
 static ENABLED: AtomicBool = AtomicBool::new(false);
+// lint: allow(thread-order, opt-in stderr diagnostics; figure outputs never read these counters)
 static NANOS: [AtomicU64; PHASES] = [
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
 ];
+// lint: allow(thread-order, opt-in stderr diagnostics; figure outputs never read these counters)
 static CALLS: [AtomicU64; PHASES] = [
     AtomicU64::new(0),
     AtomicU64::new(0),
