@@ -15,6 +15,7 @@
 use std::time::Instant;
 
 use ir_oram::ALL_SCHEMES;
+use iroram_experiments::history::HistoryKey;
 use iroram_experiments::journal::fingerprint;
 use iroram_experiments::runner::{perf_benches, run_scheme};
 use iroram_experiments::ExpOptions;
@@ -76,24 +77,6 @@ fn git_commit() -> String {
         .and_then(|o| String::from_utf8(o.stdout).ok())
         .map(|s| s.trim().to_owned())
         .unwrap_or_else(|| "unknown".to_owned())
-}
-
-/// Pulls a numeric field out of one hand-rolled history line. The writer
-/// below is the only producer, so a plain scan beats a JSON dependency.
-fn field_f64(line: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\":");
-    let rest = line[line.find(&pat)? + pat.len()..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// Pulls a string field out of one hand-rolled history line.
-fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\": \"");
-    let rest = &line[line.find(&pat)? + pat.len()..];
-    Some(&rest[..rest.find('"')?])
 }
 
 struct SchemeStat {
@@ -249,34 +232,28 @@ fn main() {
                 .wrapping_add(fingerprint(&opts.system(scheme), bench, limit));
         }
     }
-    let fp_tag = format!("cfg-fp {cfg_fp:016x}");
 
-    // Ratchet baseline: the most recent prior entry at the same scale, job
-    // count, *and* config fingerprint. Other shapes are not
-    // rate-comparable — in particular, `--set` overrides that change the
-    // simulated workload (e.g. `pipeline_depth`) get their own baseline
-    // lineage instead of poisoning the default one.
+    // Ratchet baseline: the most recent prior entry of the same bench
+    // family at the same scale, job count, *and* config fingerprint. Other
+    // shapes are not rate-comparable — in particular, `--set` overrides
+    // that change the simulated workload (e.g. `pipeline_depth`) get their
+    // own baseline lineage instead of poisoning the default one, and
+    // `kv_bench` entries in the same file can never match a sim key.
+    let key = HistoryKey {
+        bench: "sim".to_owned(),
+        scale: scale.to_owned(),
+        jobs: jobs as u64,
+        cfg_fp,
+    };
     let prior_rate = std::fs::read_to_string(hist_path)
         .ok()
-        .and_then(|hist| {
-            hist.lines().rev().find_map(|l| {
-                if field_str(l, "scale") != Some(scale) {
-                    return None;
-                }
-                if field_f64(l, "jobs") != Some(jobs as f64) {
-                    return None;
-                }
-                if !field_str(l, "note").is_some_and(|n| n.contains(&fp_tag)) {
-                    return None;
-                }
-                field_f64(l, "total_mem_ops_per_sec")
-            })
-        });
+        .and_then(|hist| key.latest_rate(&hist, "total_mem_ops_per_sec"));
     let epoch_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let line = format!(
-        "{{\"epoch_secs\": {epoch_secs}, \"scale\": \"{scale}\", \"jobs\": {jobs}, \
+        "{{\"epoch_secs\": {epoch_secs}, \"bench\": \"sim\", \"scale\": \"{scale}\", \
+         \"jobs\": {jobs}, \
          \"total_mem_ops\": {total_ops}, \"total_wall_seconds\": {total_wall:.6}, \
          \"total_mem_ops_per_sec\": {total_rate:.1}, \
          \"note\": \"commit {}, cfg-fp {cfg_fp:016x}\"}}\n",
@@ -384,15 +361,27 @@ mod tests {
     }
 
     #[test]
-    fn history_field_scanners_parse_a_writer_line() {
-        let line = "{\"epoch_secs\": 1754600000, \"scale\": \"quick\", \
-                    \"jobs\": 4, \"total_mem_ops\": 936000, \
-                    \"total_wall_seconds\": 12.5, \
-                    \"total_mem_ops_per_sec\": 74880.0, \
-                    \"note\": \"commit abc, cfg-fp 00ff\"}";
-        assert_eq!(field_str(line, "scale"), Some("quick"));
-        assert_eq!(field_f64(line, "jobs"), Some(4.0));
-        assert_eq!(field_f64(line, "total_mem_ops_per_sec"), Some(74880.0));
-        assert_eq!(field_f64(line, "absent"), None);
+    fn writer_line_matches_its_own_history_key() {
+        // Mirrors the format string in main(): if the writer's shape
+        // drifts away from what HistoryKey::matches can parse, the ratchet
+        // silently loses its baseline — catch that here.
+        let line = format!(
+            "{{\"epoch_secs\": 1754600000, \"bench\": \"sim\", \"scale\": \"quick\", \
+             \"jobs\": 4, \
+             \"total_mem_ops\": 936000, \"total_wall_seconds\": 12.500000, \
+             \"total_mem_ops_per_sec\": 74880.0, \
+             \"note\": \"commit abc, cfg-fp {:016x}\"}}",
+            0xffu64
+        );
+        let key = HistoryKey {
+            bench: "sim".to_owned(),
+            scale: "quick".to_owned(),
+            jobs: 4,
+            cfg_fp: 0xff,
+        };
+        assert!(key.matches(&line));
+        assert_eq!(key.latest_rate(&line, "total_mem_ops_per_sec"), Some(74880.0));
+        let kv = HistoryKey { bench: "kv".to_owned(), ..key };
+        assert!(!kv.matches(&line), "kv ratchet must not see sim entries");
     }
 }

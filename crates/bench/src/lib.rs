@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hist;
+
 use std::path::PathBuf;
 use std::time::Instant;
 

@@ -28,6 +28,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig6;
+pub mod history;
 pub mod journal;
 pub mod render;
 pub mod runner;

@@ -71,10 +71,11 @@ impl fmt::Display for Finding {
 /// Crates whose sources feed reported numbers: nondeterminism anywhere in
 /// them can break twin-run byte-identity. (`bench` — timing harnesses and
 /// figure binaries' wall-clock — and `lint` itself are exempt.)
-pub const REPORT_AFFECTING_CRATES: [&str; 7] = [
+pub const REPORT_AFFECTING_CRATES: [&str; 8] = [
     "cache-sim",
     "dram-sim",
     "experiments",
+    "kv",
     "oram-ctrl",
     "oram-protocol",
     "sim-engine",
@@ -83,9 +84,10 @@ pub const REPORT_AFFECTING_CRATES: [&str; 7] = [
 
 /// The designated hot-path modules the panic ratchet covers: code on the
 /// per-access / per-slot path of a sweep, where a panic kills the batch.
-pub const HOT_PATH_FILES: [&str; 7] = [
+pub const HOT_PATH_FILES: [&str; 8] = [
     "crates/cache-sim/src/cache.rs",
     "crates/dram-sim/src/system.rs",
+    "crates/kv/src/store.rs",
     "crates/oram-ctrl/src/controller.rs",
     "crates/oram-ctrl/src/dwb.rs",
     "crates/oram-ctrl/src/rho.rs",

@@ -2,7 +2,7 @@
 //! entry points, upgrading the per-file panic ratchet into a call-graph
 //! property.
 //!
-//! The per-file ratchet covers the seven designated hot-path modules; a
+//! The per-file ratchet covers the eight designated hot-path modules; a
 //! panic three calls deep in a helper crate still kills the batch just the
 //! same. This pass builds a function-level call graph across every
 //! report-affecting crate (name-based and unresolved, so it

@@ -2,11 +2,12 @@
 //! sanctioned scoped-worker/merge sites, so scheduling can never reorder
 //! anything that feeds a report.
 //!
-//! The parallel DRAM scheduler (`dram-sim/src/system.rs`) and the sweep
-//! fan-out (`par_map` in `experiments/src/runner.rs`) are the two places
-//! allowed to spawn and share state: both join inside the call and merge
-//! results in a deterministic order, so reports stay byte-identical at any
-//! `sched_threads`. Everywhere else this pass flags:
+//! The parallel DRAM scheduler (`dram-sim/src/system.rs`), the sweep
+//! fan-out (`par_map` in `experiments/src/runner.rs`), and the KV shard
+//! workers (`flush` in `kv/src/service.rs`) are the three places allowed
+//! to spawn and share state: all join inside the call and merge results
+//! in a deterministic order, so reports stay byte-identical at any
+//! `sched_threads` / worker count. Everywhere else this pass flags:
 //!
 //! * `std::thread::spawn` — unscoped threads outlive the call that made
 //!   them and are flagged even in the sanctioned files;
@@ -26,9 +27,10 @@ use crate::Finding;
 
 /// Files whose scoped-worker/merge structure is the audited, sanctioned
 /// home of intra-run parallelism.
-pub const SANCTIONED_FILES: [&str; 2] = [
+pub const SANCTIONED_FILES: [&str; 3] = [
     "crates/dram-sim/src/system.rs",
     "crates/experiments/src/runner.rs",
+    "crates/kv/src/service.rs",
 ];
 
 /// Shared-state primitive type names (and the `mpsc` module) flagged

@@ -1,0 +1,5 @@
+//! Fixture: clean report-affecting crate (the KV service layer).
+
+pub fn shard_of(key: u64, shards: u64) -> u64 {
+    key % shards
+}

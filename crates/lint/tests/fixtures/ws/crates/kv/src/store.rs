@@ -1,0 +1,5 @@
+//! Fixture: clean hot-path module (the KV shard store).
+
+pub fn probe(slot: u64, mask: u64) -> u64 {
+    slot & mask
+}

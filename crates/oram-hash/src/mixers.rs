@@ -68,4 +68,74 @@ mod tests {
         let avg = total as f64 / 1000.0;
         assert!((24.0..40.0).contains(&avg), "avg flipped bits {avg}");
     }
+
+    /// Chi-square statistic of `n` keys hashed into `buckets` bins by
+    /// `bin`. Under uniformity it concentrates around its mean `df =
+    /// buckets - 1` with standard deviation `sqrt(2 df)`.
+    fn chi_square(n: u64, buckets: usize, bin: impl Fn(u64) -> usize) -> f64 {
+        let mut counts = vec![0u64; buckets];
+        for key in 1..=n {
+            counts[bin(key)] += 1;
+        }
+        let expect = n as f64 / buckets as f64;
+        counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum()
+    }
+
+    /// `df + 6 sqrt(2 df)`: six standard deviations above the mean — an
+    /// astronomically unlikely level for a uniform hash, but trips
+    /// immediately on structured skew (e.g. hashing only low bits).
+    fn chi_bound(buckets: usize) -> f64 {
+        let df = (buckets - 1) as f64;
+        df + 6.0 * (2.0 * df).sqrt()
+    }
+
+    #[test]
+    fn mix64_slot_distribution_uniform_at_1m_keys() {
+        // The KV layer's slot choice: `mix64(key ^ salt)` masked to a
+        // power-of-two table, driven by 1M sequential keys (the worst
+        // realistic case: maximally structured input).
+        for salt in [0u64, 0x9E37_79B9_7F4A_7C15, 0xC2B2_AE3D_27D4_EB4F] {
+            let buckets = 4096usize;
+            let x = chi_square(1_000_000, buckets, |k| {
+                (mix64(k ^ salt) & (buckets as u64 - 1)) as usize
+            });
+            assert!(
+                x < chi_bound(buckets),
+                "salt {salt:#x}: chi-square {x:.1} exceeds {:.1}",
+                chi_bound(buckets)
+            );
+        }
+    }
+
+    #[test]
+    fn mix64_shard_distribution_uniform_at_1m_keys() {
+        // The KV layer's shard directory: `mix64(key ^ salt) % shards`
+        // for non-power-of-two shard counts too.
+        for shards in [2usize, 3, 4, 7, 16] {
+            let x = chi_square(1_000_000, shards, |k| {
+                (mix64(k ^ 0x85EB_CA77_C2B2_AE63) % shards as u64) as usize
+            });
+            assert!(
+                x < chi_bound(shards),
+                "{shards} shards: chi-square {x:.1} exceeds {:.1}",
+                chi_bound(shards)
+            );
+        }
+    }
+
+    #[test]
+    fn mix64_high_bits_are_as_uniform_as_low_bits() {
+        // Slot masking uses low bits; make sure nothing degenerate hides
+        // in the high half either (the directory uses `%`, which folds
+        // high bits in).
+        let buckets = 1024usize;
+        let x = chi_square(1_000_000, buckets, |k| (mix64(k) >> 54) as usize);
+        assert!(x < chi_bound(buckets), "high-bit chi-square {x:.1}");
+    }
 }

@@ -287,6 +287,44 @@ enum RemapAction {
     UnmapEscrow,
 }
 
+/// How an access updates the requested block's payload.
+///
+/// The controller reads the block wherever it is found (stash, tree top,
+/// tree) and applies the operation to the payload in place — so a
+/// read-modify-write (the KV layer's packed-entry update) costs exactly one
+/// ORAM access instead of a dependent read-then-write pair.
+pub enum WriteOp<'a> {
+    /// Read only: the payload is untouched.
+    None,
+    /// Unconditional overwrite with the given value.
+    Set(u64),
+    /// Compute the new payload from the current one; returning `None`
+    /// leaves the block unchanged (still a full, externally indistinguishable
+    /// access).
+    With(&'a mut dyn FnMut(u64) -> u64),
+}
+
+impl WriteOp<'_> {
+    /// The payload the block holds after this operation, given it currently
+    /// holds `cur`.
+    fn apply(&mut self, cur: u64) -> u64 {
+        match self {
+            WriteOp::None => cur,
+            WriteOp::Set(v) => *v,
+            WriteOp::With(f) => f(cur),
+        }
+    }
+}
+
+impl From<Option<u64>> for WriteOp<'_> {
+    fn from(w: Option<u64>) -> Self {
+        match w {
+            None => WriteOp::None,
+            Some(v) => WriteOp::Set(v),
+        }
+    }
+}
+
 /// The functional Path ORAM controller.
 ///
 /// See the [crate docs](crate) for the role split between this state machine
@@ -416,12 +454,12 @@ impl PathOram {
                 leaf,
                 payload: self.encrypt_at_rest(0),
             });
-            self.path_access(leaf, None, PathType::BgEvict, RemapAction::Remap, None);
+            self.path_access(leaf, None, PathType::BgEvict, RemapAction::Remap, &mut WriteOp::None);
             let mut guard = 0;
             // lint: allow(secret-flow, init-time background-eviction drain, before any measured access stream)
             while self.stash.over_capacity() && guard < 32 {
                 let l = self.random_leaf();
-                self.path_access(l, None, PathType::BgEvict, RemapAction::Remap, None);
+                self.path_access(l, None, PathType::BgEvict, RemapAction::Remap, &mut WriteOp::None);
                 guard += 1;
             }
         }
@@ -512,13 +550,46 @@ impl PathOram {
     ///
     /// Panics if `addr` is not a data block address.
     pub fn run_access(&mut self, addr: BlockAddr, write: Option<u64>) -> AccessRecord {
+        let mut op = WriteOp::from(write);
+        let rec = self.run_access_op(addr, &mut op);
+        self.finish_access(rec)
+    }
+
+    /// Like [`PathOram::run_access`], but the new payload is computed from
+    /// the current one by `update` — a read-modify-write in one access.
+    /// Returning the input unchanged makes this a plain read; either way the
+    /// externally visible path traffic is identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a data block address.
+    pub fn run_access_with(
+        &mut self,
+        addr: BlockAddr,
+        mut update: impl FnMut(u64) -> u64,
+    ) -> AccessRecord {
+        let mut op = WriteOp::With(&mut update);
+        let rec = self.run_access_op(addr, &mut op);
+        self.finish_access(rec)
+    }
+
+    /// Opens a batched access session: accesses submitted through it defer
+    /// background-eviction drains to [`AccessBatch::finish`], amortizing the
+    /// stash write-back planning the drain performs across the whole batch.
+    pub fn batch(&mut self) -> AccessBatch<'_> {
+        AccessBatch { oram: self, ops: 0 }
+    }
+
+    /// The complete logical access minus the trailing background-eviction
+    /// drain (shared by [`PathOram::run_access`] and [`AccessBatch`]).
+    fn run_access_op(&mut self, addr: BlockAddr, write: &mut WriteOp<'_>) -> AccessRecord {
         assert_eq!(
             self.posmap.space().kind_of(addr),
             BlockKind::Data,
             "run_access takes data addresses"
         );
         self.stats.accesses += 1;
-        if let Some((served, payload)) = self.front_access(addr, write) {
+        if let Some((served, payload)) = self.front_access_op(addr, write) {
             return AccessRecord {
                 paths: PathList::new(),
                 served,
@@ -531,14 +602,28 @@ impl PathOram {
             paths.extend(rec.paths);
         }
         let data = self
-            .data_access(addr, write)
+            .block_access(addr, PathType::Data, self.data_remap_action(), write)
             .expect("run_access serves escrowed blocks via front_access");
+        let served = data.served;
+        let payload = data.payload;
         paths.extend(data.paths.iter().copied());
-        paths.extend(self.drain_bg());
         AccessRecord {
             paths,
-            served: data.served,
-            payload: data.payload,
+            served,
+            payload,
+        }
+    }
+
+    /// Appends the per-access background-eviction drain to `rec`.
+    fn finish_access(&mut self, mut rec: AccessRecord) -> AccessRecord {
+        rec.paths.extend(self.drain_bg());
+        rec
+    }
+
+    fn data_remap_action(&self) -> RemapAction {
+        match self.cfg.remap {
+            RemapPolicy::Immediate => RemapAction::Remap,
+            RemapPolicy::Delayed => RemapAction::UnmapEscrow,
         }
     }
 
@@ -554,19 +639,23 @@ impl PathOram {
         addr: BlockAddr,
         write: Option<u64>,
     ) -> Option<(ServedFrom, u64)> {
+        self.front_access_op(addr, &mut WriteOp::from(write))
+    }
+
+    fn front_access_op(
+        &mut self,
+        addr: BlockAddr,
+        write: &mut WriteOp<'_>,
+    ) -> Option<(ServedFrom, u64)> {
         if let Some(b) = self.stash.get_mut(addr) {
             let payload = b.payload;
-            if let Some(v) = write {
-                b.payload = v;
-            }
+            b.payload = write.apply(payload);
             self.stats.fstash_hits += 1;
             return Some((ServedFrom::FStash, payload));
         }
         if let Some(p) = self.escrow.get_mut(&addr.0) {
             let payload = *p;
-            if let Some(v) = write {
-                *p = v;
-            }
+            *p = write.apply(payload);
             self.stats.escrow_hits += 1;
             return Some((ServedFrom::Escrow, payload));
         }
@@ -574,9 +663,7 @@ impl PathOram {
             let top = self.top.as_mut().expect("IrStash mode has a top store");
             if let Some(b) = top.front_get_mut(addr) {
                 let payload = b.payload;
-                if let Some(v) = write {
-                    b.payload = v;
-                }
+                b.payload = write.apply(payload);
                 self.stats.sstash_hits += 1;
                 return Some((ServedFrom::SStash, payload));
             }
@@ -608,7 +695,7 @@ impl PathOram {
             BlockKind::Data => panic!("fetch_posmap_block takes PosMap addresses"),
         };
         let rec = self
-            .block_access(pm_addr, ptype, RemapAction::Remap, None)
+            .block_access(pm_addr, ptype, RemapAction::Remap, &mut WriteOp::None)
             .expect("PosMap blocks are always mapped (never escrowed)");
         self.posmap.plb_fill(pm_addr);
         rec
@@ -627,11 +714,8 @@ impl PathOram {
         addr: BlockAddr,
         write: Option<u64>,
     ) -> Result<AccessRecord, AccessError> {
-        let action = match self.cfg.remap {
-            RemapPolicy::Immediate => RemapAction::Remap,
-            RemapPolicy::Delayed => RemapAction::UnmapEscrow,
-        };
-        self.block_access(addr, PathType::Data, action, write)
+        let action = self.data_remap_action();
+        self.block_access(addr, PathType::Data, action, &mut WriteOp::from(write))
     }
 
     /// Whether the stash is over capacity (background eviction required).
@@ -642,7 +726,7 @@ impl PathOram {
     /// Issues one background-eviction path to a random leaf.
     pub fn bg_evict_once(&mut self) -> PathRecord {
         let leaf = self.random_leaf();
-        self.path_access(leaf, None, PathType::BgEvict, RemapAction::Remap, None)
+        self.path_access(leaf, None, PathType::BgEvict, RemapAction::Remap, &mut WriteOp::None)
             .0
     }
 
@@ -652,7 +736,7 @@ impl PathOram {
     /// and without timing protection (Section VI-A).
     pub fn dummy_path(&mut self) -> PathRecord {
         let leaf = self.random_leaf();
-        self.path_access(leaf, None, PathType::Dummy, RemapAction::Remap, None)
+        self.path_access(leaf, None, PathType::Dummy, RemapAction::Remap, &mut WriteOp::None)
             .0
     }
 
@@ -904,7 +988,7 @@ impl PathOram {
         addr: BlockAddr,
         ptype: PathType,
         action: RemapAction,
-        write: Option<u64>,
+        write: &mut WriteOp<'_>,
     ) -> Result<AccessRecord, AccessError> {
         // The ORAM controller always searches the stash first.
         if self.stash.contains(addr) {
@@ -929,9 +1013,7 @@ impl PathOram {
                     .front_get_mut(addr)
                     .expect("probe found it");
                 let payload = b.payload;
-                if let Some(v) = write {
-                    b.payload = v;
-                }
+                b.payload = write.apply(payload);
                 self.stats.sstash_hits += 1;
                 // lint: allow(secret-flow, stats bucket index; an on-chip S-Stash hit issues no memory traffic at any level)
                 self.stats.served_level[level] += 1;
@@ -976,7 +1058,7 @@ impl PathOram {
         &mut self,
         addr: BlockAddr,
         action: RemapAction,
-        write: Option<u64>,
+        write: &mut WriteOp<'_>,
     ) -> Result<AccessRecord, AccessError> {
         self.stats.served_stash += 1;
         self.stats.fstash_hits += 1;
@@ -986,9 +1068,7 @@ impl PathOram {
                     return Err(AccessError::Unmapped(addr));
                 };
                 let payload = b.payload;
-                if let Some(v) = write {
-                    b.payload = v;
-                }
+                b.payload = write.apply(payload);
                 payload
             }
             RemapAction::UnmapEscrow => {
@@ -996,7 +1076,7 @@ impl PathOram {
                     return Err(AccessError::Unmapped(addr));
                 };
                 self.posmap.unmap(addr);
-                self.escrow.insert(addr.0, write.unwrap_or(b.payload));
+                self.escrow.insert(addr.0, write.apply(b.payload));
                 b.payload
             }
         };
@@ -1014,7 +1094,7 @@ impl PathOram {
         &mut self,
         leaf: Leaf,
         addr: BlockAddr,
-        write: Option<u64>,
+        write: &mut WriteOp<'_>,
     ) -> Option<(usize, u64)> {
         let cached = self.top.as_ref().map_or(0, |t| t.cached_levels());
         for level in 0..cached {
@@ -1035,9 +1115,7 @@ impl PathOram {
             for b in &mut blocks {
                 if b.addr == addr {
                     payload = b.payload;
-                    if let Some(v) = write {
-                        b.payload = v;
-                    }
+                    b.payload = write.apply(payload);
                 }
             }
             top.write_bucket_from(level, bucket, &mut blocks, &mut rejected);
@@ -1065,7 +1143,7 @@ impl PathOram {
         target: Option<BlockAddr>,
         ptype: PathType,
         action: RemapAction,
-        write: Option<u64>,
+        write: &mut WriteOp<'_>,
     ) -> (PathRecord, Option<ServedFrom>, u64) {
         match ptype {
             PathType::Pos1 => self.stats.pos1_paths += 1,
@@ -1175,9 +1253,7 @@ impl PathOram {
                         .get_mut(addr)
                         .expect("target must be resident after the read phase");
                     payload_out = b.payload;
-                    if let Some(v) = write {
-                        b.payload = v;
-                    }
+                    b.payload = write.apply(payload_out);
                     b.leaf = new_leaf;
                 }
                 RemapAction::UnmapEscrow => {
@@ -1187,7 +1263,7 @@ impl PathOram {
                         .expect("target must be resident after the read phase");
                     self.posmap.unmap(addr);
                     payload_out = b.payload;
-                    self.escrow.insert(addr.0, write.unwrap_or(b.payload));
+                    self.escrow.insert(addr.0, write.apply(b.payload));
                 }
             }
         }
@@ -1258,6 +1334,85 @@ impl PathOram {
         self.stats.blocks_to_memory += self.layout.path_len_memory(cached);
 
         (PathRecord { leaf, ptype }, served, payload_out)
+    }
+}
+
+/// A batched access session over a [`PathOram`].
+///
+/// Every access submitted through the batch performs its front probe,
+/// PosMap resolution, and data path immediately — but the trailing
+/// background-eviction drain (and the stash write-back planning it repeats)
+/// is deferred to [`AccessBatch::finish`], which drains once for the whole
+/// batch under the same per-access cap. Submitting `n` accesses and
+/// finishing is therefore protocol-equivalent to `n` bare accesses with the
+/// drains reordered to the end; the stash soft capacity absorbs the
+/// intra-batch growth.
+///
+/// # Examples
+///
+/// ```
+/// use iroram_protocol::{BlockAddr, OramConfig, PathOram};
+/// let mut oram = PathOram::new(OramConfig::tiny());
+/// let mut batch = oram.batch();
+/// batch.access(BlockAddr(3), Some(7));
+/// let payload = batch.access(BlockAddr(3), None).payload;
+/// let bg_paths = batch.finish();
+/// assert_eq!(payload, 7);
+/// assert!(bg_paths.len() <= 2 * 8);
+/// ```
+pub struct AccessBatch<'a> {
+    oram: &'a mut PathOram,
+    ops: usize,
+}
+
+impl AccessBatch<'_> {
+    /// One logical access (read, or overwrite with `write`), without the
+    /// per-access background-eviction drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a data block address.
+    pub fn access(&mut self, addr: BlockAddr, write: Option<u64>) -> AccessRecord {
+        self.ops += 1;
+        self.oram.run_access_op(addr, &mut WriteOp::from(write))
+    }
+
+    /// One logical read-modify-write access: the block's new payload is
+    /// computed from its current one by `update` (see
+    /// [`PathOram::run_access_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a data block address.
+    pub fn access_with(
+        &mut self,
+        addr: BlockAddr,
+        mut update: impl FnMut(u64) -> u64,
+    ) -> AccessRecord {
+        self.ops += 1;
+        self.oram.run_access_op(addr, &mut WriteOp::With(&mut update))
+    }
+
+    /// Accesses submitted so far.
+    pub fn len(&self) -> usize {
+        self.ops
+    }
+
+    /// Whether no access has been submitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.ops == 0
+    }
+
+    /// Drains background evictions for the whole batch — up to the same
+    /// per-access cap the unbatched path enforces, summed over the batch —
+    /// and returns the eviction paths performed.
+    pub fn finish(self) -> Vec<PathRecord> {
+        let cap = self.ops * self.oram.cfg.max_bg_evicts_per_access;
+        let mut out = Vec::new();
+        while self.oram.bg_evict_pending() && out.len() < cap {
+            out.push(self.oram.bg_evict_once());
+        }
+        out
     }
 }
 
@@ -1538,5 +1693,87 @@ mod tests {
         cfg.data_blocks = 1 << 12; // far beyond an 8-level tree's 1020 slots
         let result = std::panic::catch_unwind(|| cfg.validate());
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn batch_of_one_plus_finish_matches_bare_access() {
+        // A single batched access followed by finish() must be
+        // protocol-identical to run_access: same record payload/paths, same
+        // background evictions, same end state.
+        let mut a = PathOram::new(OramConfig::tiny());
+        let mut b = PathOram::new(OramConfig::tiny());
+        for i in 0..64u64 {
+            let addr = BlockAddr(i * 7 % 256);
+            let write = if i % 3 == 0 { Some(i) } else { None };
+            let ra = a.run_access(addr, write);
+            let mut batch = b.batch();
+            let mut rb = batch.access(addr, write);
+            rb.paths.extend(batch.finish());
+            assert_eq!(ra, rb, "step {i}");
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.stash_len(), b.stash_len());
+    }
+
+    #[test]
+    fn batch_defers_bg_drain_and_caps_it() {
+        let mut oram = PathOram::new(OramConfig::tiny());
+        let mut batch = oram.batch();
+        for i in 0..16u64 {
+            let rec = batch.access(BlockAddr(i), Some(i + 1));
+            // No per-access drain inside a batch: only the data path and
+            // its PosMap fetches appear on the record.
+            assert!(rec.paths.iter().all(|p| p.ptype != PathType::BgEvict));
+        }
+        assert_eq!(batch.len(), 16);
+        assert!(!batch.is_empty());
+        let bg = batch.finish();
+        assert!(bg.len() <= 16 * oram.config().max_bg_evicts_per_access);
+        assert!(bg.iter().all(|p| p.ptype == PathType::BgEvict));
+        assert!(!oram.bg_evict_pending());
+    }
+
+    #[test]
+    fn run_access_with_modifies_in_one_access() {
+        let mut oram = PathOram::new(OramConfig::tiny());
+        oram.run_access(BlockAddr(9), Some(40));
+        let before = oram.stats().accesses;
+        let rec = oram.run_access_with(BlockAddr(9), |cur| cur + 2);
+        // The record reports the pre-update payload; the update lands in a
+        // single logical access.
+        assert_eq!(rec.payload, 40);
+        assert_eq!(oram.stats().accesses, before + 1);
+        assert_eq!(oram.run_access(BlockAddr(9), None).payload, 42);
+    }
+
+    #[test]
+    fn batched_run_is_functionally_equivalent_to_unbatched() {
+        // Same op sequence, batched in groups of 8 vs one-at-a-time: the
+        // logical KV contents must agree even though eviction scheduling
+        // differs inside a batch.
+        let ops: Vec<(u64, Option<u64>)> = (0..128u64)
+            .map(|i| (i * 13 % 256, if i % 2 == 0 { Some(i * 3 + 1) } else { None }))
+            .collect();
+        let mut a = PathOram::new(OramConfig::tiny());
+        for &(addr, write) in &ops {
+            a.run_access(BlockAddr(addr), write);
+        }
+        let mut b = PathOram::new(OramConfig::tiny());
+        for chunk in ops.chunks(8) {
+            let mut batch = b.batch();
+            for &(addr, write) in chunk {
+                batch.access(BlockAddr(addr), write);
+            }
+            batch.finish();
+        }
+        for addr in 0..256u64 {
+            assert_eq!(
+                a.run_access(BlockAddr(addr), None).payload,
+                b.run_access(BlockAddr(addr), None).payload,
+                "addr {addr}"
+            );
+        }
+        a.check_invariants().unwrap();
+        b.check_invariants().unwrap();
     }
 }

@@ -40,7 +40,8 @@ mod types;
 mod zalloc;
 
 pub use controller::{
-    AccessError, AccessRecord, OramConfig, PathOram, ProtocolStats, RemapPolicy, TreeTopMode,
+    AccessBatch, AccessError, AccessRecord, OramConfig, PathOram, ProtocolStats, RemapPolicy,
+    TreeTopMode, WriteOp,
 };
 pub use invariants::InvariantError;
 pub use layout::TreeLayout;

@@ -1,97 +1,74 @@
-//! An oblivious key–value store built on the Path ORAM public API.
+//! An oblivious key–value store built on the sharded KV service layer.
 //!
 //! The scenario from the paper's introduction: an application running on an
 //! untrusted cloud server whose *access pattern* must not leak. This
-//! example stores a key→value map inside the ORAM: keys are hashed to block
-//! addresses with linear probing, so every lookup — hit or miss, hot key or
-//! cold key — turns into the same kind of indistinguishable path accesses.
+//! example stores a key→value map inside ORAM shards via `iroram-kv`: keys
+//! hash to a shard and to a fixed set of candidate slots inside it, so
+//! every lookup — hit or miss, hot key or cold key — turns into the same
+//! fixed number of indistinguishable path accesses. Unlike the linear-probe
+//! toy this example used to be, a miss costs exactly as much as a hit
+//! (probe reads + one refresh write), never a scan of the table.
 //!
-//! Run with: `cargo run --release -p ir-oram --example secure_kv`
+//! Run with: `cargo run --release -p iroram-kv --example secure_kv`
 
-use iroram_hash::mix64;
-use iroram_protocol::{OramConfig, PathOram};
-
-/// A fixed-capacity oblivious key–value store.
-///
-/// Each ORAM block stores one entry packed as `(key, value)`; the key must
-/// be nonzero (zero payload marks an empty slot). This is deliberately
-/// simple — the point is that *any* storage layout inherits obliviousness
-/// from the ORAM underneath.
-struct ObliviousKv {
-    oram: PathOram,
-    capacity: u64,
-}
-
-impl ObliviousKv {
-    fn new() -> Self {
-        let cfg = OramConfig::tiny();
-        let capacity = cfg.data_blocks / 2; // keys use half; values the rest
-        ObliviousKv {
-            oram: PathOram::new(cfg),
-            capacity,
-        }
-    }
-
-    fn slot_of(&self, key: u64, probe: u64) -> u64 {
-        (mix64(key).wrapping_add(probe * 0x9E37)) % self.capacity
-    }
-
-    /// Inserts or updates `key` (nonzero). Returns false when full.
-    fn put(&mut self, key: u64, value: u64) -> bool {
-        assert_ne!(key, 0, "keys must be nonzero");
-        for probe in 0..self.capacity {
-            let slot = self.slot_of(key, probe);
-            let stored_key = self.oram.read(slot);
-            if stored_key == 0 || stored_key == key {
-                self.oram.write(slot, key);
-                self.oram.write(self.capacity + slot, value);
-                return true;
-            }
-        }
-        false
-    }
-
-    /// Looks `key` up.
-    fn get(&mut self, key: u64) -> Option<u64> {
-        for probe in 0..self.capacity {
-            let slot = self.slot_of(key, probe);
-            let stored_key = self.oram.read(slot);
-            if stored_key == key {
-                return Some(self.oram.read(self.capacity + slot));
-            }
-            if stored_key == 0 {
-                return None;
-            }
-        }
-        None
-    }
-}
+use iroram_kv::{KvConfig, KvOp, KvService, PROBES};
 
 fn main() {
-    let mut kv = ObliviousKv::new();
+    // Two shards, sized for a few hundred keys; every shard is an
+    // independent Path ORAM with its own position map and stash.
+    let mut cfg = KvConfig::for_keys(256, 2);
+    cfg.workers = 1; // the serial twin: same bytes as any worker count
+    let mut kv = KvService::new(cfg);
 
     println!("inserting 40 entries…");
-    for k in 1..=40u64 {
-        assert!(kv.put(k, k * k), "store full");
+    for k in 1..=40u32 {
+        assert_eq!(kv.put(k, k * k), Ok(None), "store full");
     }
     println!("reading them back…");
-    for k in 1..=40u64 {
-        assert_eq!(kv.get(k), Some(k * k), "key {k}");
+    for k in 1..=40u32 {
+        assert_eq!(kv.get(k), Ok(Some(k * k)), "key {k}");
     }
-    assert_eq!(kv.get(999), None);
+    assert_eq!(kv.get(999), Ok(None));
+
+    // Batched serving: queue a mixed workload, then flush once — the
+    // service drains each shard's queue through a single ORAM access
+    // batch and merges replies by submission order.
+    for k in 1..=40u32 {
+        kv.submit(KvOp::Get { key: k }).unwrap();
+        kv.submit(KvOp::Put { key: k + 100, value: k }).unwrap();
+    }
+    let outcome = kv.flush();
+    assert_eq!(outcome.replies.len(), 80);
 
     // The security story: every get/put decomposed into uniform, remapped
-    // path accesses. A "hot" key and a cold key are indistinguishable.
-    let stats = kv.oram.stats();
+    // path accesses. A "hot" key and a cold key are indistinguishable, and
+    // so are a hit and a miss: each op costs the same PROBES reads plus
+    // one write-phase access (a real write, or an identity "refresh" that
+    // remaps and re-encrypts just the same).
+    let mut accesses = 0u64;
+    let mut paths = 0u64;
+    for report in kv.reports() {
+        let s = &report.oram;
+        println!(
+            "shard {}: {} KV ops -> {} logical ORAM accesses -> {} path accesses \
+             ({} data, {} PosMap, {} background-eviction)",
+            report.shard,
+            report.kv.gets + report.kv.puts + report.kv.deletes,
+            s.accesses,
+            s.total_paths(),
+            s.data_paths,
+            s.posmap_paths(),
+            s.bg_evict_paths,
+        );
+        accesses += s.accesses;
+        paths += s.total_paths();
+    }
     println!(
-        "\n{} logical ORAM accesses → {} path accesses \
-         ({} data, {} PosMap, {} background-eviction)",
-        stats.accesses,
-        stats.total_paths(),
-        stats.data_paths,
-        stats.posmap_paths(),
-        stats.bg_evict_paths,
+        "\ntotal: {accesses} ORAM accesses ({} per KV op), {paths} path accesses",
+        PROBES + 1
     );
-    kv.oram.check_invariants().expect("ORAM structure sound");
+    for shard in kv.shards() {
+        shard.oram().check_invariants().expect("ORAM structure sound");
+    }
     println!("invariants hold; every block is on its mapped path.");
 }
